@@ -1,0 +1,111 @@
+"""Experiments E6 & E7: stable assignment and its k-bounded relaxation.
+
+E6 (Theorems 7.1 / 7.3): the phase-based stable assignment algorithm on
+customer--server workloads, sweeping the customer degree C and the server
+degree S; phases and game rounds are checked against the explicit
+O(C·S) / O(C·S⁴) budgets.
+
+E7 (Theorem 7.5): the 2-bounded relaxation on the same instances; its
+per-phase token dropping games have at most three levels and the overall
+round count should sit well below the unrelaxed algorithm's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import (
+    run_bounded_stable_assignment,
+    run_stable_assignment,
+    theoretical_phase_bound,
+    theoretical_round_bound,
+)
+from repro.workloads import datacenter_assignment, hard_matching_bipartite, uniform_assignment
+
+C_SWEEP = [2, 3, 4, 6]
+S_SCALE = [10, 20, 40]
+
+
+@pytest.mark.experiment("E6")
+@pytest.mark.parametrize("replicas", C_SWEEP)
+def test_assignment_rounds_vs_customer_degree(benchmark, record_rows, replicas):
+    """Rounds of the Theorem 7.3 algorithm as the customer degree C grows."""
+    graph = datacenter_assignment(
+        num_jobs=150, num_servers=30, replicas=replicas, popularity_skew=1.0, seed=replicas
+    )
+    result = benchmark(lambda: run_stable_assignment(graph, seed=replicas))
+    assert result.stable
+    record_rows(
+        experiment="E6",
+        C=graph.max_customer_degree(),
+        S=graph.max_server_degree(),
+        phases=result.phases,
+        game_rounds=result.game_rounds,
+        phase_bound=theoretical_phase_bound(graph),
+        round_bound=theoretical_round_bound(graph),
+    )
+    assert result.phases <= theoretical_phase_bound(graph)
+    assert result.game_rounds <= theoretical_round_bound(graph)
+
+
+@pytest.mark.experiment("E6")
+@pytest.mark.parametrize("num_servers", S_SCALE)
+def test_assignment_rounds_vs_server_degree(benchmark, record_rows, num_servers):
+    """Rounds as the server-side degree S grows (jobs fixed, servers vary)."""
+    graph = datacenter_assignment(
+        num_jobs=6 * num_servers,
+        num_servers=num_servers,
+        replicas=3,
+        popularity_skew=1.2,
+        seed=num_servers,
+    )
+    result = benchmark(lambda: run_stable_assignment(graph, seed=1))
+    assert result.stable
+    record_rows(
+        experiment="E6",
+        C=graph.max_customer_degree(),
+        S=graph.max_server_degree(),
+        phases=result.phases,
+        game_rounds=result.game_rounds,
+    )
+
+
+@pytest.mark.experiment("E7")
+@pytest.mark.parametrize("replicas", C_SWEEP)
+def test_bounded_vs_general_assignment(benchmark, record_rows, replicas):
+    """Theorem 7.5: the 2-bounded relaxation needs (far) fewer rounds."""
+    graph = uniform_assignment(
+        num_jobs=150, num_servers=30, replicas=replicas, seed=50 + replicas
+    )
+    bounded = benchmark(lambda: run_bounded_stable_assignment(graph, k=2, seed=1))
+    general = run_stable_assignment(graph, seed=1)
+    assert bounded.stable and general.stable
+    record_rows(
+        experiment="E7",
+        C=graph.max_customer_degree(),
+        S=graph.max_server_degree(),
+        bounded_phases=bounded.phases,
+        bounded_rounds=bounded.game_rounds,
+        general_phases=general.phases,
+        general_rounds=general.game_rounds,
+        max_bounded_td_height=max(
+            (s.token_dropping_height for s in bounded.per_phase), default=0
+        ),
+    )
+    # The relaxation's embedded games never exceed three levels.
+    assert all(s.token_dropping_height <= 2 for s in bounded.per_phase)
+
+
+@pytest.mark.experiment("E7")
+def test_bounded_assignment_on_matching_hard_instance(benchmark, record_rows):
+    """The Theorem 7.4 instance family: balanced bipartite graphs."""
+    graph = hard_matching_bipartite(side=40, degree=4, seed=3)
+    result = benchmark(lambda: run_bounded_stable_assignment(graph, k=2, seed=0))
+    assert result.stable
+    record_rows(
+        experiment="E7",
+        C=graph.max_customer_degree(),
+        S=graph.max_server_degree(),
+        phases=result.phases,
+        game_rounds=result.game_rounds,
+    )

@@ -1,0 +1,127 @@
+"""Experiments E2 & E5: the lower-bound constructions.
+
+E2 (Theorems 4.6 / 7.4): build the reduction from bipartite maximal
+matching to height-2 token dropping, solve the game, and verify that the
+extracted matching is maximal; also run the Theorem 7.4 reduction through
+the 2-bounded assignment algorithm.
+
+E5 (Theorem 6.3, Lemmas 6.1 / 6.2): build the Δ-regular-graph / Δ-ary-tree
+pair, verify the construction's premises, orient both with the paper's
+algorithm, and check both lemmas plus the indistinguishability of local
+views.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core.assignment import (
+    maximal_matching_via_bounded_assignment,
+    verify_maximal_matching,
+)
+from repro.core.orientation import OrientationProblem, run_stable_orientation
+from repro.core.token_dropping import run_proposal_algorithm
+from repro.graphs.validation import check_perfect_dary_tree, graph_girth, is_regular
+from repro.lower_bounds import (
+    height2_matching_instance,
+    lemma61_violations,
+    lemma62_witness,
+    matching_from_height2_solution,
+    theorem63_instance_pair,
+    views_isomorphic,
+)
+from repro.workloads import hard_matching_bipartite
+
+SIDES = [20, 40]
+DELTAS = [3, 4, 5]
+
+
+@pytest.mark.experiment("E2")
+@pytest.mark.parametrize("side", SIDES)
+def test_matching_reduction_via_token_dropping(benchmark, record_rows, side):
+    """Theorem 4.6: height-2 token dropping yields a maximal matching."""
+    graph = hard_matching_bipartite(side=side, degree=4, seed=side)
+    instance = height2_matching_instance(graph)
+
+    solution = benchmark(lambda: run_proposal_algorithm(instance))
+    solution.validate(instance).raise_if_invalid()
+    matching = matching_from_height2_solution(graph, solution)
+    violations = verify_maximal_matching(graph, matching)
+    record_rows(
+        experiment="E2",
+        side=side,
+        delta=graph.max_degree(),
+        game_rounds=solution.game_rounds,
+        matching_size=len(matching),
+        maximal=not violations,
+    )
+    assert not violations
+
+
+@pytest.mark.experiment("E2")
+@pytest.mark.parametrize("side", SIDES)
+def test_matching_reduction_via_bounded_assignment(benchmark, record_rows, side):
+    """Theorem 7.4: the 2-bounded assignment also yields a maximal matching."""
+    graph = hard_matching_bipartite(side=side, degree=4, seed=100 + side)
+    matching, result = benchmark(
+        lambda: maximal_matching_via_bounded_assignment(graph, seed=0)
+    )
+    violations = verify_maximal_matching(graph, matching)
+    record_rows(
+        experiment="E2",
+        side=side,
+        phases=result.phases,
+        game_rounds=result.game_rounds,
+        matching_size=len(matching),
+        maximal=not violations,
+    )
+    assert not violations
+
+
+@pytest.mark.experiment("E5")
+@pytest.mark.parametrize("delta", DELTAS)
+def test_theorem63_constructions_and_lemmas(benchmark, record_rows, delta):
+    """Theorem 6.3's instance pair: premises, Lemma 6.1, Lemma 6.2, local views."""
+
+    def build_and_check():
+        regular, tree, root = theorem63_instance_pair(delta, seed=delta)
+        assert is_regular(regular, delta)
+        depth = check_perfect_dary_tree(tree, delta, root)
+        girth = graph_girth(regular, cap=10)
+
+        reg_orientation = run_stable_orientation(
+            OrientationProblem.from_networkx(regular)
+        ).orientation
+        tree_orientation = run_stable_orientation(
+            OrientationProblem.from_networkx(tree)
+        ).orientation
+
+        witness = lemma62_witness(reg_orientation, delta)
+        lemma61_ok = lemma61_violations(tree, tree_orientation) == []
+
+        radius = max(1, (int(girth) - 1) // 2 - 1) if math.isfinite(girth) else 1
+        depths = nx.single_source_shortest_path_length(tree, root)
+        interior = next(
+            n
+            for n, d in depths.items()
+            if radius <= d <= depth - radius and tree.degree(n) == delta
+        )
+        indistinguishable = views_isomorphic(
+            regular, next(iter(regular.nodes())), tree, interior, radius
+        )
+        return {
+            "girth": girth,
+            "witness_load": reg_orientation.load(witness),
+            "lemma61_ok": lemma61_ok,
+            "radius": radius,
+            "indistinguishable": indistinguishable,
+        }
+
+    outcome = benchmark(build_and_check)
+    record_rows(experiment="E5", delta=delta, **outcome)
+    assert outcome["witness_load"] >= math.ceil(delta / 2)
+    assert outcome["lemma61_ok"]
+    assert outcome["indistinguishable"]

@@ -1,0 +1,138 @@
+"""Experiments E4 & E9: stable orientation round complexity and baselines.
+
+E4 (Theorem 5.1): the phase-based algorithm orients Δ-regular and random
+bounded-degree graphs; we record phases and game rounds and check them
+against the explicit O(Δ) / O(Δ⁴) budgets, alongside the repair baseline
+standing in for the prior O(Δ⁵)-style approach.
+
+E9 (Section 1.1): the centralized sequential flip algorithm's flip-chain
+length on the same instances (the quantity the distributed algorithms
+avoid paying sequentially).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.orientation import (
+    run_stable_orientation,
+    sequential_flip_algorithm,
+    synchronous_repair_orientation,
+    theoretical_phase_bound,
+    theoretical_round_bound,
+)
+from repro.workloads import (
+    caterpillar_orientation,
+    long_path_orientation,
+    regular_orientation,
+    sensor_network_orientation,
+    two_cliques_bottleneck,
+)
+
+DELTA_SWEEP = [3, 4, 6, 8, 10]
+
+
+def named_instances():
+    problems = {
+        "sensor": sensor_network_orientation(num_nodes=120, max_degree=8, seed=1),
+        "caterpillar": caterpillar_orientation(spine=25, legs=4),
+        "path": long_path_orientation(length=150),
+        "two_cliques": two_cliques_bottleneck(clique_size=8)[0],
+    }
+    return problems
+
+
+@pytest.mark.experiment("E4")
+@pytest.mark.parametrize("delta", DELTA_SWEEP)
+def test_phase_algorithm_on_regular_graphs(benchmark, record_rows, delta):
+    """Rounds of the Theorem 5.1 algorithm on Δ-regular graphs."""
+    problem = regular_orientation(degree=delta, num_nodes=12 * delta, seed=delta)
+
+    result = benchmark(lambda: run_stable_orientation(problem))
+    assert result.stable
+    record_rows(
+        experiment="E4",
+        delta=problem.max_degree(),
+        edges=problem.num_edges(),
+        phases=result.phases,
+        game_rounds=result.game_rounds,
+        phase_bound=theoretical_phase_bound(problem),
+        round_bound=theoretical_round_bound(problem),
+        bound_ratio=result.game_rounds / theoretical_round_bound(problem),
+    )
+    assert result.phases <= theoretical_phase_bound(problem)
+    assert result.game_rounds <= theoretical_round_bound(problem)
+
+
+@pytest.mark.experiment("E4")
+@pytest.mark.parametrize("delta", DELTA_SWEEP)
+def test_repair_baseline_on_regular_graphs(benchmark, record_rows, delta):
+    """Rounds of the repair-from-arbitrary-orientation baseline on the same graphs."""
+    problem = regular_orientation(degree=delta, num_nodes=12 * delta, seed=delta)
+
+    orientation, stats = benchmark(
+        lambda: synchronous_repair_orientation(problem, seed=delta)
+    )
+    assert orientation.is_stable()
+    record_rows(
+        experiment="E4",
+        delta=problem.max_degree(),
+        edges=problem.num_edges(),
+        repair_iterations=stats.iterations,
+        repair_rounds=stats.communication_rounds,
+        repair_flips=stats.total_flips,
+        initial_unhappy=stats.initial_unhappy,
+    )
+
+
+@pytest.mark.experiment("E4")
+@pytest.mark.parametrize("name", sorted(named_instances()))
+def test_phase_algorithm_on_named_workloads(benchmark, record_rows, name):
+    """Phases/rounds of the Theorem 5.1 algorithm on structured workloads."""
+    problem = named_instances()[name]
+    result = benchmark(lambda: run_stable_orientation(problem))
+    assert result.stable
+    record_rows(
+        experiment="E4",
+        workload=name,
+        delta=problem.max_degree(),
+        edges=problem.num_edges(),
+        phases=result.phases,
+        game_rounds=result.game_rounds,
+    )
+
+
+@pytest.mark.experiment("E9")
+@pytest.mark.parametrize("name", sorted(named_instances()))
+def test_sequential_flip_chains(benchmark, record_rows, name):
+    """Flip counts of the centralized algorithm (the sequential cost baseline)."""
+    problem = named_instances()[name]
+    orientation, stats = benchmark(
+        lambda: sequential_flip_algorithm(problem, policy="random", seed=7)
+    )
+    assert orientation.is_stable()
+    record_rows(
+        experiment="E9",
+        workload=name,
+        edges=problem.num_edges(),
+        flips=stats.flips,
+        initial_potential=stats.initial_potential,
+        final_potential=stats.final_potential,
+    )
+
+
+@pytest.mark.experiment("E4-ablation")
+@pytest.mark.parametrize("tie_break", ["min", "max", "random"])
+def test_tie_break_ablation(benchmark, record_rows, tie_break):
+    """Ablation: tie-breaking inside the embedded token dropping runs."""
+    problem = sensor_network_orientation(num_nodes=100, max_degree=8, seed=11)
+    result = benchmark(
+        lambda: run_stable_orientation(problem, tie_break=tie_break, seed=2)
+    )
+    assert result.stable
+    record_rows(
+        experiment="E4-ablation",
+        tie_break=tie_break,
+        phases=result.phases,
+        game_rounds=result.game_rounds,
+    )

@@ -1,0 +1,62 @@
+"""Experiment E8: stable assignments as semi-matching 2-approximations.
+
+Section 1.3: a stable assignment is a factor-2 approximation of the
+optimal semi-matching.  We measure the realized cost ratio on workloads of
+increasing skew, for both the paper's algorithm and the naive greedy
+heuristic, and record the worst observed ratios (the stable ratio must
+never exceed 2; greedy carries no guarantee).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import (
+    approximation_ratio,
+    greedy_assignment,
+    optimal_cost,
+    run_stable_assignment,
+)
+from repro.workloads import datacenter_assignment, uniform_assignment
+
+SKEWS = [0.0, 1.0, 2.0]
+
+
+@pytest.mark.experiment("E8")
+@pytest.mark.parametrize("skew", SKEWS)
+def test_stable_assignment_approximation(benchmark, record_rows, skew):
+    """Measured cost ratio of the stable assignment vs. the exact optimum."""
+    if skew == 0.0:
+        graph = uniform_assignment(num_jobs=150, num_servers=30, replicas=3, seed=4)
+    else:
+        graph = datacenter_assignment(
+            num_jobs=150, num_servers=30, replicas=3, popularity_skew=skew, seed=4
+        )
+    optimum = optimal_cost(graph)
+
+    result = benchmark(lambda: run_stable_assignment(graph, seed=2))
+    assert result.stable
+    stable_ratio = approximation_ratio(result.assignment, optimum)
+    greedy_ratio = approximation_ratio(
+        greedy_assignment(graph, order="random", seed=2), optimum
+    )
+    record_rows(
+        experiment="E8",
+        skew=skew,
+        optimal_cost=optimum,
+        stable_cost=result.assignment.semi_matching_cost(),
+        stable_ratio=stable_ratio,
+        greedy_ratio=greedy_ratio,
+    )
+    assert stable_ratio <= 2.0
+
+
+@pytest.mark.experiment("E8")
+def test_optimal_semi_matching_cost(benchmark, record_rows):
+    """Wall-clock cost of the exact min-cost-flow optimum (the offline baseline)."""
+    graph = datacenter_assignment(
+        num_jobs=200, num_servers=40, replicas=3, popularity_skew=1.5, seed=9
+    )
+    cost = benchmark(lambda: optimal_cost(graph))
+    record_rows(experiment="E8", optimal_cost=cost, jobs=200, servers=40)
+    assert cost > 0

@@ -1,0 +1,109 @@
+"""Experiments E1 & E3: round complexity of the token dropping algorithms.
+
+E1 (Theorem 4.1): the proposal algorithm solves random layered games in
+O(L·Δ²) game rounds.  We sweep the maximum degree Δ at fixed height and
+the height L at fixed degree and record game rounds; the EXPERIMENTS.md
+rows are the per-parameter means plus the fitted growth exponents and the
+worst-case ratio against the explicit bound (which must stay ≤ 1).
+
+E3 (Theorem 4.7): on games with three levels the specialised algorithm
+uses O(Δ) game rounds, a factor-Δ improvement over running the generic
+algorithm on the same instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.token_dropping import (
+    greedy_token_dropping,
+    run_proposal_algorithm,
+    run_three_level_algorithm,
+)
+from repro.workloads import bounded_degree_token_dropping, random_token_dropping
+
+DELTA_SWEEP = [2, 4, 6, 8, 12]
+HEIGHT_SWEEP = [2, 4, 6, 8]
+
+
+@pytest.mark.experiment("E1")
+@pytest.mark.parametrize("delta", DELTA_SWEEP)
+def test_proposal_rounds_vs_delta(benchmark, record_rows, delta):
+    """Game rounds of the proposal algorithm as Δ grows (fixed height 5)."""
+    instance = bounded_degree_token_dropping(num_levels=6, degree=delta, seed=delta)
+
+    solution = benchmark(lambda: run_proposal_algorithm(instance))
+    solution.validate(instance).raise_if_invalid()
+    bound = instance.theoretical_round_bound()
+    record_rows(
+        experiment="E1",
+        delta=instance.max_degree,
+        height=instance.height,
+        tokens=instance.num_tokens,
+        game_rounds=solution.game_rounds,
+        communication_rounds=solution.communication_rounds,
+        bound=bound,
+        bound_ratio=solution.game_rounds / bound,
+    )
+    assert solution.game_rounds <= bound
+
+
+@pytest.mark.experiment("E1")
+@pytest.mark.parametrize("height", HEIGHT_SWEEP)
+def test_proposal_rounds_vs_height(benchmark, record_rows, height):
+    """Game rounds of the proposal algorithm as the height L grows (fixed Δ)."""
+    instance = random_token_dropping(
+        num_levels=height + 1,
+        width=6,
+        edge_probability=0.5,
+        token_fraction=0.6,
+        max_degree=6,
+        seed=height,
+    )
+    solution = benchmark(lambda: run_proposal_algorithm(instance))
+    solution.validate(instance).raise_if_invalid()
+    record_rows(
+        experiment="E1",
+        delta=instance.max_degree,
+        height=instance.height,
+        game_rounds=solution.game_rounds,
+        bound=instance.theoretical_round_bound(),
+    )
+
+
+@pytest.mark.experiment("E3")
+@pytest.mark.parametrize("delta", DELTA_SWEEP)
+def test_three_level_vs_generic(benchmark, record_rows, delta):
+    """Theorem 4.7's O(Δ) algorithm vs. the generic O(Δ²) one on 3-level games."""
+    instance = bounded_degree_token_dropping(num_levels=3, degree=delta, seed=100 + delta)
+
+    fast = benchmark(lambda: run_three_level_algorithm(instance))
+    fast.validate(instance).raise_if_invalid()
+    generic = run_proposal_algorithm(instance)
+    record_rows(
+        experiment="E3",
+        delta=instance.max_degree,
+        tokens=instance.num_tokens,
+        three_level_rounds=fast.game_rounds,
+        generic_rounds=generic.game_rounds,
+        speedup=(generic.game_rounds or 1) / max(fast.game_rounds, 1),
+    )
+    # The specialised algorithm respects its linear bound.
+    assert fast.game_rounds <= 8 * (instance.max_degree + 1) + 8
+
+
+@pytest.mark.experiment("E1-ablation")
+@pytest.mark.parametrize("order", ["first", "random", "highest_level", "lowest_level"])
+def test_greedy_order_ablation(benchmark, record_rows, order):
+    """Ablation: does the centralized move-selection order change total moves?"""
+    instance = random_token_dropping(
+        num_levels=7, width=8, edge_probability=0.4, token_fraction=0.6, seed=9
+    )
+    solution = benchmark(lambda: greedy_token_dropping(instance, order=order, seed=1))
+    solution.validate(instance).raise_if_invalid()
+    record_rows(
+        experiment="E1-ablation",
+        order=order,
+        total_moves=solution.total_moves(),
+        tokens=instance.num_tokens,
+    )

@@ -1,0 +1,34 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark measures wall-clock time through pytest-benchmark *and*
+records the paper-relevant quantity -- round counts, phase counts,
+approximation ratios -- in ``benchmark.extra_info`` so that the JSON
+output (``--benchmark-json``) contains the rows EXPERIMENTS.md reports.
+
+Run with:
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``--benchmark-json=bench.json`` to capture the extra info.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):  # noqa: D103 - pytest hook
+    config.addinivalue_line(
+        "markers", "experiment(id): link a benchmark to a DESIGN.md experiment id"
+    )
+
+
+@pytest.fixture
+def record_rows(benchmark):
+    """Helper to stash arbitrary result rows in the benchmark's extra info."""
+
+    def _record(**info):
+        for key, value in info.items():
+            benchmark.extra_info[key] = value
+
+    return _record

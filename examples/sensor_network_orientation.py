@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Stable orientations of a sensor network: the paper's algorithm vs. baselines.
+
+Each edge of a bounded-degree "radio network" must be oriented (think: one
+endpoint takes responsibility for the link); every node's load is the
+number of links it owns, and the orientation should be locally balanced --
+exactly the stable orientation problem.
+
+The example runs three algorithms on the same graphs of growing maximum
+degree Δ and reports their cost in *rounds*:
+
+* the paper's phase-based algorithm (Theorem 5.1, O(Δ⁴) rounds),
+* the repair-from-arbitrary-orientation baseline standing in for the
+  O(Δ⁵)-style prior work, and
+* the centralized sequential flip algorithm (number of flips, i.e. the
+  length of the flip chain a naive scheme may have to propagate).
+
+Run:  python examples/sensor_network_orientation.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import banner, fit_power_law, format_table
+from repro.core.orientation import (
+    run_stable_orientation,
+    sequential_flip_algorithm,
+    synchronous_repair_orientation,
+)
+from repro.workloads import regular_orientation, sensor_network_orientation
+
+
+def main() -> None:
+    print(banner("Sensor-network link orientation"))
+    problem = sensor_network_orientation(num_nodes=150, max_degree=8, density=0.06, seed=5)
+    print(
+        f"random bounded-degree network: {len(problem.nodes)} nodes, "
+        f"{problem.num_edges()} links, Δ={problem.max_degree()}"
+    )
+    result = run_stable_orientation(problem)
+    orientation = result.orientation
+    print(
+        f"phase algorithm: {result.phases} phases, {result.game_rounds} game rounds, "
+        f"stable={result.stable}, max load={orientation.max_load()}"
+    )
+
+    print()
+    print(banner("Round scaling on Δ-regular networks (experiment E4 preview)"))
+    rows = []
+    deltas = [3, 4, 5, 6, 8]
+    phase_rounds = []
+    repair_rounds = []
+    for delta in deltas:
+        problem = regular_orientation(degree=delta, num_nodes=10 * delta, seed=delta)
+        phase_result = run_stable_orientation(problem)
+        _, repair_stats = synchronous_repair_orientation(problem, seed=delta)
+        _, seq_stats = sequential_flip_algorithm(problem, policy="random", seed=delta)
+        phase_rounds.append(phase_result.game_rounds)
+        repair_rounds.append(repair_stats.communication_rounds)
+        rows.append(
+            [
+                delta,
+                problem.num_edges(),
+                phase_result.phases,
+                phase_result.game_rounds,
+                repair_stats.communication_rounds,
+                seq_stats.flips,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "Δ",
+                "edges",
+                "phases (Thm 5.1)",
+                "rounds (Thm 5.1)",
+                "rounds (repair baseline)",
+                "flips (sequential)",
+            ],
+            rows,
+        )
+    )
+
+    fit = fit_power_law([float(d) for d in deltas], [float(r) for r in phase_rounds])
+    print(
+        f"\nfitted growth of the phase algorithm's rounds: {fit} "
+        "(the Theorem 5.1 bound is Δ^4; measured instances are far below it "
+        "because random instances are not worst-case)"
+    )
+
+
+if __name__ == "__main__":
+    main()

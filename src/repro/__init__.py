@@ -1,0 +1,57 @@
+"""Reproduction of *Efficient Load-Balancing through Distributed Token Dropping*.
+
+This package reproduces the algorithms, bounds, and constructions of
+
+    Sebastian Brandt, Barbara Keller, Joel Rybicki, Jukka Suomela, Jara Uitto.
+    "Efficient Load-Balancing through Distributed Token Dropping." SPAA 2021.
+    (arXiv:2005.07761)
+
+The package is organised as follows:
+
+``repro.local_model``
+    A synchronous LOCAL-model simulator: per-node state machines exchanging
+    messages in rounds, with exact round and message accounting.  All
+    distributed algorithms in this package are expressed as
+    :class:`~repro.local_model.node.NodeAlgorithm` subclasses and executed
+    by :class:`~repro.local_model.runner.Runner`.
+
+``repro.graphs``
+    Graph substrates: layered DAG instances for the token dropping game,
+    bipartite customer--server graphs, hypergraphs, per-edge orientation
+    state, and generators for the instance families used throughout the
+    paper (d-regular graphs, perfect d-ary trees, random bipartite
+    workloads, ...).
+
+``repro.core``
+    The paper's contributions:
+
+    * ``core.token_dropping`` -- the token dropping game, the O(L·Δ²)
+      proposal algorithm (Theorem 4.1), the O(Δ) height-3 algorithm
+      (Theorem 4.7), greedy baselines, and the hypergraph generalisation
+      (Theorem 7.1).
+    * ``core.orientation`` -- stable orientations: the phase-based O(Δ⁴)
+      algorithm (Theorem 5.1), the centralized sequential flip algorithm,
+      and a Czygrinow-style repair baseline.
+    * ``core.assignment`` -- stable assignments on customer--server
+      hypergraphs: the O(C·S⁴) algorithm (Theorem 7.3), the k-bounded
+      relaxation and its O(C·S²) algorithm (Theorem 7.5), and
+      semi-matching costs with exact optimal semi-matching for measuring
+      the 2-approximation claim.
+
+``repro.lower_bounds``
+    The instance constructions behind the paper's lower bounds
+    (Theorems 4.6, 6.3, 7.4) and indistinguishability utilities.
+
+``repro.analysis``
+    Experiment harness: parameter sweeps, growth-exponent fitting, and
+    plain-text table reporting used by the benchmark suite and
+    EXPERIMENTS.md.
+
+``repro.workloads``
+    Named, reproducible workload scenarios used by the examples and
+    benchmarks.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

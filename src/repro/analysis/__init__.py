@@ -1,0 +1,35 @@
+"""Experiment harness: sweeps, scaling fits, statistics, and table rendering."""
+
+from repro.analysis.complexity import (
+    PowerLawFit,
+    crossover_point,
+    fit_power_law,
+    max_bound_ratio,
+    speedup_series,
+)
+from repro.analysis.reporting import banner, format_table, markdown_table
+from repro.analysis.stats import Summary, geometric_mean, summarize
+from repro.analysis.sweep import (
+    SweepRecord,
+    SweepResult,
+    parameter_grid,
+    run_sweep,
+)
+
+__all__ = [
+    "PowerLawFit",
+    "Summary",
+    "SweepRecord",
+    "SweepResult",
+    "banner",
+    "crossover_point",
+    "fit_power_law",
+    "format_table",
+    "geometric_mean",
+    "markdown_table",
+    "max_bound_ratio",
+    "parameter_grid",
+    "run_sweep",
+    "speedup_series",
+    "summarize",
+]

@@ -1,0 +1,57 @@
+"""Plain-text and Markdown table rendering for experiment reports.
+
+Benchmarks print the same rows that EXPERIMENTS.md records, using these
+helpers so the formatting is identical everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+
+def _stringify(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3g}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render an aligned plain-text table."""
+    string_rows: List[List[str]] = [[_stringify(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    lines = [render_row(list(headers)), render_row(["-" * w for w in widths])]
+    lines.extend(render_row(row) for row in string_rows)
+    return "\n".join(lines)
+
+
+def markdown_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render a GitHub-flavoured Markdown table (used for EXPERIMENTS.md)."""
+    string_rows = [[_stringify(c) for c in row] for row in rows]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in string_rows)
+    return "\n".join(lines)
+
+
+def banner(title: str, width: int = 72) -> str:
+    """A section banner used by the example scripts and bench output."""
+    bar = "=" * width
+    return f"{bar}\n{title}\n{bar}"

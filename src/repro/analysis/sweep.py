@@ -1,0 +1,108 @@
+"""Parameter sweep harness used by benchmarks and EXPERIMENTS.md generation.
+
+A sweep runs a measurement function over a grid of parameter dictionaries,
+repeating each point with several seeds, and collects flat records that
+the reporting module turns into tables.  Everything is deliberately plain
+(lists of dicts) so pytest-benchmark, the examples, and the EXPERIMENTS.md
+generator can all share the same code path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+@dataclass
+class SweepRecord:
+    """One measurement: the parameters, the seed, and the measured values."""
+
+    params: Dict[str, Any]
+    seed: int
+    values: Dict[str, float]
+    elapsed_seconds: float
+
+
+@dataclass
+class SweepResult:
+    """All records of a sweep plus grouping/aggregation helpers."""
+
+    name: str
+    records: List[SweepRecord] = field(default_factory=list)
+
+    def append(self, record: SweepRecord) -> None:
+        self.records.append(record)
+
+    def filter(self, **params: Any) -> "SweepResult":
+        """Records whose parameters match all the given key=value pairs."""
+        subset = SweepResult(name=self.name)
+        for record in self.records:
+            if all(record.params.get(k) == v for k, v in params.items()):
+                subset.append(record)
+        return subset
+
+    def series(
+        self, x_param: str, value: str, reduce: Callable[[Sequence[float]], float] = None
+    ) -> tuple[List[float], List[float]]:
+        """Aggregate ``value`` per distinct ``x_param``, averaged over seeds.
+
+        Returns ``(xs, ys)`` sorted by x.  ``reduce`` defaults to the mean.
+        """
+        if reduce is None:
+            reduce = lambda vals: sum(vals) / len(vals)  # noqa: E731
+        grouped: Dict[Any, List[float]] = {}
+        for record in self.records:
+            grouped.setdefault(record.params[x_param], []).append(record.values[value])
+        xs = sorted(grouped)
+        ys = [reduce(grouped[x]) for x in xs]
+        return [float(x) for x in xs], [float(y) for y in ys]
+
+    def values_of(self, value: str) -> List[float]:
+        """All measurements of one value across the sweep."""
+        return [record.values[value] for record in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def parameter_grid(**axes: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Cartesian product of named parameter axes as a list of dicts.
+
+    >>> parameter_grid(delta=[2, 3], levels=[4])
+    [{'delta': 2, 'levels': 4}, {'delta': 3, 'levels': 4}]
+    """
+    names = sorted(axes)
+    combos = itertools.product(*(list(axes[name]) for name in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+def run_sweep(
+    name: str,
+    measure: Callable[..., Mapping[str, float]],
+    grid: Sequence[Mapping[str, Any]],
+    *,
+    seeds: Sequence[int] = (0, 1, 2),
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Run ``measure(seed=..., **params)`` for every grid point and seed.
+
+    ``measure`` must return a mapping of metric name to number.  Failures
+    are not swallowed: a crashing measurement aborts the sweep, because a
+    silently dropped point would bias the reported scaling.
+    """
+    result = SweepResult(name=name)
+    for params in grid:
+        for seed in seeds:
+            start = time.perf_counter()
+            values = dict(measure(seed=seed, **params))
+            elapsed = time.perf_counter() - start
+            result.append(
+                SweepRecord(
+                    params=dict(params), seed=seed, values=values, elapsed_seconds=elapsed
+                )
+            )
+            if progress is not None:
+                progress(f"{name}: {params} seed={seed} -> {values}")
+    return result

@@ -1,0 +1,8 @@
+"""The paper's core contributions.
+
+* :mod:`repro.core.token_dropping` -- the token dropping game and its
+  algorithms (Section 4 and Section 7.1 of the paper).
+* :mod:`repro.core.orientation` -- stable orientations (Sections 1.1, 5, 6).
+* :mod:`repro.core.assignment` -- stable assignments, the k-bounded
+  relaxation, and semi-matching quality (Sections 1.3, 1.4, 7).
+"""

@@ -1,0 +1,83 @@
+"""Stable assignments, the k-bounded relaxation, and semi-matchings (Section 7).
+
+Public API overview
+-------------------
+Problem & assignments
+    :class:`Assignment`, :func:`check_stable_assignment`,
+    :func:`effective_load`.
+
+The paper's algorithms
+    :func:`run_stable_assignment` -- the phase-based O(C·S⁴) algorithm
+    (Theorem 7.3); :func:`run_bounded_stable_assignment` -- the k-bounded
+    relaxation in O(C·S²) (Theorem 7.5);
+    :func:`maximal_matching_via_bounded_assignment` -- the Theorem 7.4
+    reduction from maximal matching.
+
+Semi-matching quality (experiment E8)
+    :func:`optimal_semi_matching`, :func:`approximation_ratio`,
+    :func:`greedy_assignment`, :func:`semi_matching_cost`.
+"""
+
+from repro.core.assignment.algorithm import (
+    AssignmentPhaseStats,
+    PHASE_OVERHEAD_ROUNDS,
+    StableAssignmentResult,
+    run_stable_assignment,
+    theoretical_phase_bound,
+    theoretical_round_bound,
+)
+from repro.core.assignment.bounded import (
+    is_bounded_stable,
+    maximal_matching_via_bounded_assignment,
+    run_bounded_stable_assignment,
+    theoretical_bounded_round_bound,
+    verify_maximal_matching,
+)
+from repro.core.assignment.problem import (
+    Assignment,
+    AssignmentError,
+    AssignmentProblemSummary,
+    check_stable_assignment,
+    effective_load,
+)
+from repro.core.assignment.semi_matching import (
+    approximation_ratio,
+    assignment_cost,
+    greedy_assignment,
+    is_two_approximation,
+    load_histogram,
+    optimal_cost,
+    optimal_semi_matching,
+    semi_matching_cost,
+    triangular,
+    worst_server_load,
+)
+
+__all__ = [
+    "Assignment",
+    "AssignmentError",
+    "AssignmentPhaseStats",
+    "AssignmentProblemSummary",
+    "PHASE_OVERHEAD_ROUNDS",
+    "StableAssignmentResult",
+    "approximation_ratio",
+    "assignment_cost",
+    "check_stable_assignment",
+    "effective_load",
+    "greedy_assignment",
+    "is_bounded_stable",
+    "is_two_approximation",
+    "load_histogram",
+    "maximal_matching_via_bounded_assignment",
+    "optimal_cost",
+    "optimal_semi_matching",
+    "run_bounded_stable_assignment",
+    "run_stable_assignment",
+    "semi_matching_cost",
+    "theoretical_bounded_round_bound",
+    "theoretical_phase_bound",
+    "theoretical_round_bound",
+    "triangular",
+    "verify_maximal_matching",
+    "worst_server_load",
+]

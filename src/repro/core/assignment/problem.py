@@ -1,0 +1,223 @@
+"""Stable assignments: problem statement, assignments, and stability checks.
+
+Sections 1.3 and 7 of the paper.  Given a bipartite customer--server graph,
+every customer must be assigned to exactly one adjacent server; customers
+selfishly prefer servers with a low load.  An assignment is *stable* when
+no customer can strictly lower the load it experiences by unilaterally
+switching to another adjacent server, i.e. for every customer ``c``
+assigned to server ``s``:
+
+    ``load(s) <= load(s') + 1``  for every other server ``s'`` adjacent to ``c``
+
+(moving would drop ``s``'s load by one and raise ``s'``'s by one, so the
+move is profitable only if ``load(s') + 1 < load(s)``).
+
+Section 7.3 defines the *k-bounded* relaxation: all loads of at least
+``k`` are treated as equal.  For ``k = 2`` a customer is unhappy only if it
+chose a server of load at least 2 while an adjacent server has load 0.
+:func:`effective_load` and the ``k``-aware checks implement this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+from repro.graphs.bipartite import CustomerServerGraph
+
+NodeId = Hashable
+
+
+class AssignmentError(ValueError):
+    """Raised for malformed assignments or invalid operations."""
+
+
+def effective_load(load: int, k: Optional[int]) -> int:
+    """The load as seen by the k-bounded relaxation (``min(load, k)``).
+
+    ``k=None`` means the unrelaxed problem (the load itself).
+    """
+    if k is None:
+        return load
+    if k < 2:
+        raise AssignmentError(f"the k-bounded relaxation requires k >= 2, got {k}")
+    return min(load, k)
+
+
+class Assignment:
+    """A (possibly partial) assignment of customers to adjacent servers.
+
+    Loads are maintained incrementally.  The phase-based algorithms build
+    the assignment gradually, so customers may be temporarily unassigned.
+    """
+
+    def __init__(
+        self,
+        graph: CustomerServerGraph,
+        choices: Optional[Mapping[NodeId, NodeId]] = None,
+    ) -> None:
+        self.graph = graph
+        self._choice: Dict[NodeId, NodeId] = {}
+        self._load: Dict[NodeId, int] = {server: 0 for server in graph.servers}
+        for customer, server in (choices or {}).items():
+            self.assign(customer, server)
+
+    # -- copying --------------------------------------------------------
+    def copy(self) -> "Assignment":
+        clone = Assignment(self.graph)
+        clone._choice = dict(self._choice)
+        clone._load = dict(self._load)
+        return clone
+
+    # -- mutation -------------------------------------------------------
+    def assign(self, customer: NodeId, server: NodeId) -> None:
+        """Assign (or re-assign) ``customer`` to ``server``."""
+        if customer not in self.graph.customer_adjacency:
+            raise AssignmentError(f"unknown customer {customer!r}")
+        if server not in self.graph.servers_of(customer):
+            raise AssignmentError(
+                f"server {server!r} is not adjacent to customer {customer!r}"
+            )
+        previous = self._choice.get(customer)
+        if previous is not None:
+            self._load[previous] -= 1
+        self._choice[customer] = server
+        self._load[server] += 1
+
+    def unassign(self, customer: NodeId) -> None:
+        """Remove the customer's assignment (used by tests)."""
+        previous = self._choice.pop(customer, None)
+        if previous is not None:
+            self._load[previous] -= 1
+
+    # -- queries --------------------------------------------------------
+    def server_of(self, customer: NodeId) -> Optional[NodeId]:
+        """The server the customer is assigned to (None if unassigned)."""
+        return self._choice.get(customer)
+
+    def is_assigned(self, customer: NodeId) -> bool:
+        return customer in self._choice
+
+    def is_complete(self) -> bool:
+        """True when every customer is assigned."""
+        return len(self._choice) == len(self.graph.customer_adjacency)
+
+    def unassigned_customers(self) -> Tuple[NodeId, ...]:
+        return tuple(
+            sorted(
+                (c for c in self.graph.customers if c not in self._choice), key=repr
+            )
+        )
+
+    def load(self, server: NodeId) -> int:
+        """Number of customers currently assigned to ``server``."""
+        return self._load[server]
+
+    def loads(self) -> Dict[NodeId, int]:
+        return dict(self._load)
+
+    def max_load(self) -> int:
+        if not self._load:
+            return 0
+        return max(self._load.values())
+
+    def choices(self) -> Dict[NodeId, NodeId]:
+        """A copy of the full customer → server mapping."""
+        return dict(self._choice)
+
+    # -- happiness / stability ------------------------------------------
+    def badness(self, customer: NodeId, k: Optional[int] = None) -> int:
+        """Badness of the customer's hyperedge (Section 7.2).
+
+        ``load(assigned server) − min(load of the *other* adjacent servers)``,
+        which may be negative when the chosen server is strictly best.  A
+        degree-1 customer has badness 0 by convention (it has no
+        alternative).  With ``k`` given, loads are first clamped to ``k``
+        (the k-bounded relaxation of Section 7.3, using effective loads).
+        Raises for unassigned customers.
+        """
+        server = self._choice.get(customer)
+        if server is None:
+            raise AssignmentError(f"customer {customer!r} is not assigned")
+        others = [s for s in self.graph.servers_of(customer) if s != server]
+        if not others:
+            return 0
+        own = effective_load(self._load[server], k)
+        best = min(effective_load(self._load[s], k) for s in others)
+        return own - best
+
+    def is_happy(self, customer: NodeId, k: Optional[int] = None) -> bool:
+        """A customer is happy iff its badness is at most 1 (in effective loads)."""
+        return self.badness(customer, k) <= 1
+
+    def unhappy_customers(self, k: Optional[int] = None) -> List[NodeId]:
+        """All assigned-but-unhappy customers."""
+        return [
+            customer
+            for customer in self.graph.customers
+            if customer in self._choice and not self.is_happy(customer, k)
+        ]
+
+    def is_stable(self, k: Optional[int] = None) -> bool:
+        """True when the assignment is complete and every customer is happy."""
+        return self.is_complete() and not self.unhappy_customers(k)
+
+    def max_badness(self, k: Optional[int] = None) -> int:
+        """Maximum badness over assigned customers (0 if none assigned)."""
+        worst = 0
+        for customer in self._choice:
+            worst = max(worst, self.badness(customer, k))
+        return worst
+
+    # -- objectives ------------------------------------------------------
+    def semi_matching_cost(self) -> int:
+        """Σ_servers f(load) with f(x) = 1 + 2 + ... + x (the HLLT06 objective)."""
+        return sum(load * (load + 1) // 2 for load in self._load.values())
+
+    def sum_squared_loads(self) -> int:
+        """Σ load², the equivalent load-balancing potential."""
+        return sum(load * load for load in self._load.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Assignment(assigned={len(self._choice)}/"
+            f"{len(self.graph.customer_adjacency)}, max_load={self.max_load()})"
+        )
+
+
+def check_stable_assignment(
+    assignment: Assignment, k: Optional[int] = None
+) -> List[str]:
+    """Human-readable stability violations (empty list = stable)."""
+    violations: List[str] = []
+    unassigned = assignment.unassigned_customers()
+    if unassigned:
+        violations.append(f"{len(unassigned)} customer(s) are unassigned")
+    for customer in assignment.unhappy_customers(k):
+        server = assignment.server_of(customer)
+        violations.append(
+            f"customer {customer!r} on server {server!r} (load "
+            f"{assignment.load(server)}) has a strictly better server available"
+        )
+    return violations
+
+
+@dataclass(frozen=True)
+class AssignmentProblemSummary:
+    """Degree parameters of an assignment instance (used in reports)."""
+
+    num_customers: int
+    num_servers: int
+    num_edges: int
+    max_customer_degree: int
+    max_server_degree: int
+
+    @classmethod
+    def of(cls, graph: CustomerServerGraph) -> "AssignmentProblemSummary":
+        return cls(
+            num_customers=len(graph.customers),
+            num_servers=len(graph.servers),
+            num_edges=graph.num_edges(),
+            max_customer_degree=graph.max_customer_degree(),
+            max_server_degree=graph.max_server_degree(),
+        )

@@ -1,0 +1,79 @@
+"""Stable orientations (Sections 1.1, 5, and 6 of the paper).
+
+Public API overview
+-------------------
+Problem & orientations
+    :class:`OrientationProblem`, :class:`Orientation`,
+    :func:`arbitrary_complete_orientation`, :func:`check_stable`.
+
+The paper's algorithm (Theorem 5.1)
+    :func:`run_stable_orientation` -- the phase-based O(Δ⁴) algorithm that
+    uses token dropping as a black box.
+
+Baselines
+    :func:`sequential_flip_algorithm` -- the centralized flip algorithm of
+    Section 1.1; :func:`synchronous_repair_orientation` -- a
+    repair-from-arbitrary-orientation distributed baseline standing in for
+    the O(Δ⁵) prior work (see the module docstring for the substitution
+    rationale).
+"""
+
+from repro.core.orientation.bounded import (
+    BoundedOrientationResult,
+    bounded_unhappy_edges,
+    run_bounded_stable_orientation,
+    theoretical_bounded_orientation_round_bound,
+)
+from repro.core.orientation.phases import (
+    PHASE_OVERHEAD_ROUNDS,
+    PhaseStats,
+    StableOrientationResult,
+    run_stable_orientation,
+    theoretical_phase_bound,
+    theoretical_round_bound,
+)
+from repro.core.orientation.problem import (
+    Orientation,
+    OrientationError,
+    OrientationProblem,
+    arbitrary_complete_orientation,
+    check_stable,
+    edge_key,
+)
+from repro.core.orientation.repair import (
+    ROUNDS_PER_REPAIR_ITERATION,
+    RepairRunStats,
+    synchronous_repair_orientation,
+)
+from repro.core.orientation.sequential import (
+    FLIP_POLICIES,
+    SequentialRunStats,
+    flip_chain_length,
+    sequential_flip_algorithm,
+)
+
+__all__ = [
+    "BoundedOrientationResult",
+    "FLIP_POLICIES",
+    "Orientation",
+    "bounded_unhappy_edges",
+    "run_bounded_stable_orientation",
+    "theoretical_bounded_orientation_round_bound",
+    "OrientationError",
+    "OrientationProblem",
+    "PHASE_OVERHEAD_ROUNDS",
+    "PhaseStats",
+    "ROUNDS_PER_REPAIR_ITERATION",
+    "RepairRunStats",
+    "SequentialRunStats",
+    "StableOrientationResult",
+    "arbitrary_complete_orientation",
+    "check_stable",
+    "edge_key",
+    "flip_chain_length",
+    "run_stable_orientation",
+    "sequential_flip_algorithm",
+    "synchronous_repair_orientation",
+    "theoretical_phase_bound",
+    "theoretical_round_bound",
+]

@@ -1,0 +1,185 @@
+"""Customer--server bipartite graphs.
+
+Sections 1.3 and 7 of the paper study the *stable assignment* problem on a
+bipartite graph with customers on one side and servers on the other; every
+customer must pick exactly one adjacent server and prefers servers with a
+low load.  :class:`CustomerServerGraph` is the substrate for that problem
+and for semi-matching computations.
+
+The class tracks the two degree parameters used in the paper's bounds:
+``C`` (maximum customer degree, i.e. the rank of the hyperedges in the
+hypergraph view) and ``S`` (maximum server degree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Set, Tuple
+
+NodeId = Hashable
+
+
+class BipartiteGraphError(ValueError):
+    """Raised when a customer--server graph is malformed."""
+
+
+@dataclass(frozen=True)
+class CustomerServerGraph:
+    """An immutable bipartite graph of customers and servers.
+
+    Parameters
+    ----------
+    customers:
+        Iterable of customer identifiers.
+    servers:
+        Iterable of server identifiers (disjoint from customers).
+    edges:
+        Iterable of ``(customer, server)`` pairs.  Each customer must have
+        at least one incident edge, otherwise the assignment problem has
+        no feasible solution and construction fails.
+    """
+
+    customer_adjacency: Mapping[NodeId, FrozenSet[NodeId]]
+    server_adjacency: Mapping[NodeId, FrozenSet[NodeId]]
+
+    def __init__(
+        self,
+        customers: Iterable[NodeId],
+        servers: Iterable[NodeId],
+        edges: Iterable[Tuple[NodeId, NodeId]],
+    ) -> None:
+        customer_set = list(dict.fromkeys(customers))
+        server_set = list(dict.fromkeys(servers))
+        overlap = set(customer_set) & set(server_set)
+        if overlap:
+            raise BipartiteGraphError(
+                f"identifiers used on both sides: {sorted(map(repr, overlap))}"
+            )
+
+        cust_adj: Dict[NodeId, Set[NodeId]] = {c: set() for c in customer_set}
+        serv_adj: Dict[NodeId, Set[NodeId]] = {s: set() for s in server_set}
+        for edge in edges:
+            if len(edge) != 2:
+                raise BipartiteGraphError(f"edge {edge!r} is not a (customer, server) pair")
+            customer, server = edge
+            if customer not in cust_adj:
+                raise BipartiteGraphError(f"unknown customer {customer!r} in edge {edge!r}")
+            if server not in serv_adj:
+                raise BipartiteGraphError(f"unknown server {server!r} in edge {edge!r}")
+            if server in cust_adj[customer]:
+                raise BipartiteGraphError(f"duplicate edge ({customer!r}, {server!r})")
+            cust_adj[customer].add(server)
+            serv_adj[server].add(customer)
+
+        isolated = [c for c, adj in cust_adj.items() if not adj]
+        if isolated:
+            raise BipartiteGraphError(
+                "every customer needs at least one adjacent server; isolated "
+                f"customer(s): {sorted(map(repr, isolated))}"
+            )
+
+        object.__setattr__(
+            self,
+            "customer_adjacency",
+            {c: frozenset(adj) for c, adj in cust_adj.items()},
+        )
+        object.__setattr__(
+            self,
+            "server_adjacency",
+            {s: frozenset(adj) for s, adj in serv_adj.items()},
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def customers(self) -> Tuple[NodeId, ...]:
+        """Customer identifiers in deterministic order."""
+        return tuple(sorted(self.customer_adjacency, key=repr))
+
+    @property
+    def servers(self) -> Tuple[NodeId, ...]:
+        """Server identifiers in deterministic order."""
+        return tuple(sorted(self.server_adjacency, key=repr))
+
+    def servers_of(self, customer: NodeId) -> FrozenSet[NodeId]:
+        """Servers adjacent to ``customer``."""
+        return self.customer_adjacency[customer]
+
+    def customers_of(self, server: NodeId) -> FrozenSet[NodeId]:
+        """Customers adjacent to ``server``."""
+        return self.server_adjacency[server]
+
+    def customer_degree(self, customer: NodeId) -> int:
+        """Degree of one customer."""
+        return len(self.customer_adjacency[customer])
+
+    def server_degree(self, server: NodeId) -> int:
+        """Degree of one server."""
+        return len(self.server_adjacency[server])
+
+    def max_customer_degree(self) -> int:
+        """C: the maximum customer degree (0 if there are no customers)."""
+        if not self.customer_adjacency:
+            return 0
+        return max(len(adj) for adj in self.customer_adjacency.values())
+
+    def max_server_degree(self) -> int:
+        """S: the maximum server degree (0 if there are no servers)."""
+        if not self.server_adjacency:
+            return 0
+        return max(len(adj) for adj in self.server_adjacency.values())
+
+    def max_degree(self) -> int:
+        """Δ = max{C, S}, the maximum degree of the whole network."""
+        return max(self.max_customer_degree(), self.max_server_degree())
+
+    def num_edges(self) -> int:
+        """Number of customer--server edges."""
+        return sum(len(adj) for adj in self.customer_adjacency.values())
+
+    def edges(self) -> Tuple[Tuple[NodeId, NodeId], ...]:
+        """All (customer, server) edges in deterministic order."""
+        out = []
+        for customer in self.customers:
+            for server in sorted(self.customer_adjacency[customer], key=repr):
+                out.append((customer, server))
+        return tuple(out)
+
+    def __len__(self) -> int:
+        return len(self.customer_adjacency) + len(self.server_adjacency)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CustomerServerGraph(customers={len(self.customer_adjacency)}, "
+            f"servers={len(self.server_adjacency)}, edges={self.num_edges()}, "
+            f"C={self.max_customer_degree()}, S={self.max_server_degree()})"
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_orientation_graph(
+        cls, edges: Iterable[Tuple[NodeId, NodeId]]
+    ) -> "CustomerServerGraph":
+        """Build the degree-2-customer instance equivalent to an orientation problem.
+
+        The stable orientation problem is the special case of stable
+        assignment where every customer has degree exactly 2: each
+        undirected edge ``{u, v}`` of the orientation instance becomes a
+        customer connected to servers ``u`` and ``v`` (Section 1.3).
+
+        Edge customers are labelled ``("edge", u, v)`` with endpoints in
+        sorted order so the mapping is deterministic and invertible.
+        """
+        undirected = set()
+        for u, v in edges:
+            if u == v:
+                raise BipartiteGraphError(f"self-loop on {u!r} is not allowed")
+            key = tuple(sorted((u, v), key=repr))
+            undirected.add(key)
+        servers = sorted({x for pair in undirected for x in pair}, key=repr)
+        customers = [("edge",) + pair for pair in sorted(undirected, key=repr)]
+        bip_edges = []
+        for pair in sorted(undirected, key=repr):
+            customer = ("edge",) + pair
+            bip_edges.append((customer, pair[0]))
+            bip_edges.append((customer, pair[1]))
+        return cls(customers=customers, servers=servers, edges=bip_edges)

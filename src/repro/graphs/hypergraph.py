@@ -1,0 +1,147 @@
+"""Hypergraphs with customers as hyperedges.
+
+Section 7.1 of the paper generalises the token dropping game (and stable
+assignment) by viewing the bipartite customer--server graph as a
+hypergraph: every customer becomes a hyperedge over the servers it is
+adjacent to, and orienting a hyperedge means choosing one endpoint as its
+*head* (the chosen server).
+
+:class:`Hypergraph` stores this view explicitly.  It is intentionally a
+thin structure -- orientation semantics (heads, badness, happiness) live
+in :mod:`repro.core.assignment.problem` -- but it owns the degree/rank
+bookkeeping used throughout the Section 7 bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Set, Tuple
+
+from repro.graphs.bipartite import CustomerServerGraph
+
+NodeId = Hashable
+EdgeId = Hashable
+
+
+class HypergraphError(ValueError):
+    """Raised when a hypergraph is malformed."""
+
+
+@dataclass(frozen=True)
+class Hypergraph:
+    """An immutable hypergraph over a fixed vertex set.
+
+    Parameters
+    ----------
+    vertices:
+        Iterable of vertex identifiers (the servers, in the assignment
+        interpretation).
+    hyperedges:
+        Mapping from hyperedge identifier (the customer) to an iterable of
+        at least one distinct vertex.
+    """
+
+    edge_members: Mapping[EdgeId, FrozenSet[NodeId]]
+    vertex_edges: Mapping[NodeId, FrozenSet[EdgeId]]
+
+    def __init__(
+        self,
+        vertices: Iterable[NodeId],
+        hyperedges: Mapping[EdgeId, Iterable[NodeId]],
+    ) -> None:
+        vertex_set = list(dict.fromkeys(vertices))
+        vertex_edges: Dict[NodeId, Set[EdgeId]] = {v: set() for v in vertex_set}
+        edge_members: Dict[EdgeId, FrozenSet[NodeId]] = {}
+
+        for edge_id, members in hyperedges.items():
+            member_set = frozenset(members)
+            if not member_set:
+                raise HypergraphError(f"hyperedge {edge_id!r} has no endpoints")
+            unknown = member_set - set(vertex_edges)
+            if unknown:
+                raise HypergraphError(
+                    f"hyperedge {edge_id!r} references unknown vertex/vertices "
+                    f"{sorted(map(repr, unknown))}"
+                )
+            if edge_id in edge_members:
+                raise HypergraphError(f"duplicate hyperedge identifier {edge_id!r}")
+            edge_members[edge_id] = member_set
+            for v in member_set:
+                vertex_edges[v].add(edge_id)
+
+        object.__setattr__(self, "edge_members", dict(edge_members))
+        object.__setattr__(
+            self, "vertex_edges", {v: frozenset(e) for v, e in vertex_edges.items()}
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> Tuple[NodeId, ...]:
+        """Vertex identifiers in deterministic order."""
+        return tuple(sorted(self.vertex_edges, key=repr))
+
+    @property
+    def hyperedges(self) -> Tuple[EdgeId, ...]:
+        """Hyperedge identifiers in deterministic order."""
+        return tuple(sorted(self.edge_members, key=repr))
+
+    def members(self, edge_id: EdgeId) -> FrozenSet[NodeId]:
+        """Vertices contained in hyperedge ``edge_id``."""
+        return self.edge_members[edge_id]
+
+    def edges_at(self, vertex: NodeId) -> FrozenSet[EdgeId]:
+        """Hyperedges incident to ``vertex``."""
+        return self.vertex_edges[vertex]
+
+    def rank(self, edge_id: EdgeId) -> int:
+        """Number of endpoints of one hyperedge."""
+        return len(self.edge_members[edge_id])
+
+    def max_rank(self) -> int:
+        """C: the maximum hyperedge rank (0 if there are no hyperedges)."""
+        if not self.edge_members:
+            return 0
+        return max(len(m) for m in self.edge_members.values())
+
+    def vertex_degree(self, vertex: NodeId) -> int:
+        """Number of hyperedges incident to ``vertex``."""
+        return len(self.vertex_edges[vertex])
+
+    def max_vertex_degree(self) -> int:
+        """S: the maximum vertex degree (0 if there are no vertices)."""
+        if not self.vertex_edges:
+            return 0
+        return max(len(e) for e in self.vertex_edges.values())
+
+    def num_hyperedges(self) -> int:
+        """Number of hyperedges."""
+        return len(self.edge_members)
+
+    def __len__(self) -> int:
+        return len(self.vertex_edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Hypergraph(vertices={len(self)}, hyperedges={self.num_hyperedges()}, "
+            f"max_rank={self.max_rank()}, max_vertex_degree={self.max_vertex_degree()})"
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_customer_server(cls, graph: CustomerServerGraph) -> "Hypergraph":
+        """View a customer--server graph as a hypergraph (customers = hyperedges)."""
+        return cls(
+            vertices=graph.servers,
+            hyperedges={c: graph.servers_of(c) for c in graph.customers},
+        )
+
+    def to_customer_server(self) -> CustomerServerGraph:
+        """Inverse of :meth:`from_customer_server`."""
+        edges = [
+            (edge_id, vertex)
+            for edge_id in self.hyperedges
+            for vertex in sorted(self.edge_members[edge_id], key=repr)
+        ]
+        return CustomerServerGraph(
+            customers=self.hyperedges, servers=self.vertices, edges=edges
+        )

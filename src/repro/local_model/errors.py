@@ -1,0 +1,69 @@
+"""Exception hierarchy for the LOCAL-model simulator.
+
+All simulator errors derive from :class:`SimulationError` so callers can
+catch the whole family with a single ``except`` clause while still being
+able to distinguish configuration mistakes (bad topology, unknown
+neighbour) from runtime conditions (round budget exhausted).
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by :mod:`repro.local_model`."""
+
+
+class TopologyError(SimulationError):
+    """The communication graph handed to the simulator is malformed.
+
+    Raised for duplicate node identifiers, self-loops, dangling edge
+    endpoints, or non-hashable node identifiers.
+    """
+
+
+class UnknownNeighborError(SimulationError):
+    """A node attempted to send a message to a non-neighbour.
+
+    The LOCAL model only allows communication along edges of the input
+    graph; any attempt to address a node that is not adjacent is a bug in
+    the algorithm under simulation and is surfaced immediately.
+    """
+
+    def __init__(self, sender: object, receiver: object) -> None:
+        super().__init__(
+            f"node {sender!r} attempted to send to {receiver!r}, "
+            "which is not an adjacent node"
+        )
+        self.sender = sender
+        self.receiver = receiver
+
+
+class HaltedNodeError(SimulationError):
+    """An operation was attempted on a node that has already halted."""
+
+
+class RoundLimitExceeded(SimulationError):
+    """The execution did not terminate within the allowed round budget.
+
+    Algorithms in this package come with explicit round-complexity
+    guarantees; exceeding a generous multiple of the guarantee indicates
+    either a bug or an adversarial instance outside the algorithm's
+    preconditions, so the runner fails loudly instead of spinning.
+    """
+
+    def __init__(self, limit: int, active_nodes: int) -> None:
+        super().__init__(
+            f"simulation exceeded the round limit of {limit} rounds "
+            f"with {active_nodes} node(s) still active"
+        )
+        self.limit = limit
+        self.active_nodes = active_nodes
+
+
+class AlgorithmError(SimulationError):
+    """A node algorithm violated its own protocol invariants.
+
+    Algorithms raise this (directly or via helper assertions) when their
+    local state reaches a configuration that the paper's invariants rule
+    out -- e.g. a node holding two tokens in the token dropping game.
+    """

@@ -1,0 +1,107 @@
+"""Message envelopes and per-node mailboxes.
+
+The LOCAL model allows unbounded message sizes, so payloads are arbitrary
+Python objects.  The simulator wraps each payload in an :class:`Envelope`
+recording sender, receiver, and the round in which the message was sent;
+this is what powers message-count metrics and execution traces.
+
+Mailboxes are deliberately simple: a node receives at most one payload per
+neighbour per round (matching how the paper's algorithms communicate), and
+sending twice to the same neighbour in one round overwrites the previous
+payload.  This mirrors the usual "each node sends one message per edge per
+round" convention of the LOCAL model and keeps algorithm code honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterator, Mapping, Tuple
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A single message in flight.
+
+    Attributes
+    ----------
+    sender:
+        Identifier of the node that produced the message.
+    receiver:
+        Identifier of the adjacent node the message is addressed to.
+    round_sent:
+        Round number (0-based) during which the message was produced.  The
+        message is delivered at the beginning of round ``round_sent + 1``.
+    payload:
+        Arbitrary algorithm-defined content.
+    """
+
+    sender: NodeId
+    receiver: NodeId
+    round_sent: int
+    payload: Any
+
+
+@dataclass
+class Outbox:
+    """Messages produced by one node during the current round.
+
+    The outbox maps neighbour identifier to payload.  It is cleared by the
+    scheduler after every round.
+    """
+
+    _messages: Dict[NodeId, Any] = field(default_factory=dict)
+
+    def put(self, neighbor: NodeId, payload: Any) -> None:
+        """Queue ``payload`` for delivery to ``neighbor`` next round."""
+        self._messages[neighbor] = payload
+
+    def items(self) -> Iterator[Tuple[NodeId, Any]]:
+        return iter(self._messages.items())
+
+    def clear(self) -> None:
+        self._messages.clear()
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __contains__(self, neighbor: NodeId) -> bool:
+        return neighbor in self._messages
+
+
+class Inbox(Mapping[NodeId, Any]):
+    """Read-only view of the messages delivered to a node this round.
+
+    Behaves as a mapping from sender identifier to payload.  Algorithms
+    should treat it as immutable; the scheduler rebuilds it every round.
+    """
+
+    __slots__ = ("_messages",)
+
+    def __init__(self, messages: Dict[NodeId, Any] | None = None) -> None:
+        self._messages: Dict[NodeId, Any] = dict(messages or {})
+
+    def __getitem__(self, sender: NodeId) -> Any:
+        return self._messages[sender]
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._messages)
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Inbox({self._messages!r})"
+
+    def senders(self) -> Tuple[NodeId, ...]:
+        """Return the senders that delivered a message this round."""
+        return tuple(self._messages)
+
+    @staticmethod
+    def empty() -> "Inbox":
+        """Return a shared empty inbox."""
+        return _EMPTY_INBOX
+
+
+_EMPTY_INBOX = Inbox({})

@@ -1,0 +1,76 @@
+"""Execution metrics collected by the runner.
+
+The central quantity in this reproduction is the **number of synchronous
+communication rounds** an algorithm uses, because all of the paper's
+results are round-complexity bounds.  :class:`ExecutionMetrics` records the
+round count along with message counts and per-node halting rounds, which
+the analysis module aggregates across parameter sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional
+
+NodeId = Hashable
+
+
+@dataclass
+class ExecutionMetrics:
+    """Counters describing one simulated execution.
+
+    Attributes
+    ----------
+    rounds:
+        Number of synchronous rounds executed, **excluding** the round-0
+        initialisation (``on_start``).  This matches the LOCAL-model
+        convention where the output of a 0-round algorithm depends only on
+        local inputs.
+    messages_sent:
+        Total number of (point-to-point) messages delivered over the whole
+        execution.
+    node_halt_rounds:
+        For each node, the round number at the end of which it halted.
+        Nodes still active when the runner stopped are absent.
+    halted_nodes:
+        Number of nodes that explicitly halted.
+    total_nodes:
+        Number of nodes in the simulated network.
+    terminated:
+        True when every node halted before the round limit was reached.
+    """
+
+    rounds: int = 0
+    messages_sent: int = 0
+    node_halt_rounds: Dict[NodeId, int] = field(default_factory=dict)
+    halted_nodes: int = 0
+    total_nodes: int = 0
+    terminated: bool = False
+
+    def record_halt(self, node_id: NodeId, round_number: int) -> None:
+        """Record that ``node_id`` halted at the end of ``round_number``."""
+        if node_id not in self.node_halt_rounds:
+            self.node_halt_rounds[node_id] = round_number
+            self.halted_nodes += 1
+
+    @property
+    def last_halt_round(self) -> Optional[int]:
+        """The latest round at which any node halted (None if nobody halted)."""
+        if not self.node_halt_rounds:
+            return None
+        return max(self.node_halt_rounds.values())
+
+    def messages_per_round(self) -> float:
+        """Average number of messages per executed round (0.0 if no rounds)."""
+        if self.rounds == 0:
+            return 0.0
+        return self.messages_sent / self.rounds
+
+    def summary(self) -> str:
+        """Return a one-line human-readable summary of the execution."""
+        status = "terminated" if self.terminated else "stopped"
+        return (
+            f"{status} after {self.rounds} rounds, "
+            f"{self.messages_sent} messages, "
+            f"{self.halted_nodes}/{self.total_nodes} nodes halted"
+        )

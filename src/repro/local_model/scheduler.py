@@ -1,0 +1,132 @@
+"""Synchronous round scheduler.
+
+The scheduler owns the mechanics of one synchronous round: draining
+outboxes, routing envelopes, building inboxes, and invoking each active
+node's ``on_round``.  The :class:`~repro.local_model.runner.Runner` drives
+the scheduler until termination and handles round budgets, metrics, and
+output collection.
+
+Separating the two keeps the per-round data flow small and testable in
+isolation (see ``tests/local_model/test_scheduler.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional
+
+from repro.local_model.messages import Inbox
+from repro.local_model.metrics import ExecutionMetrics
+from repro.local_model.network import Network
+from repro.local_model.node import AlgorithmFactory, NodeAlgorithm, NodeContext
+from repro.local_model.trace import ExecutionTrace, NullTrace
+
+NodeId = Hashable
+
+
+class SynchronousScheduler:
+    """Executes synchronous rounds over a fixed set of node state machines.
+
+    Parameters
+    ----------
+    network:
+        The communication topology and local inputs.
+    factory:
+        Produces one :class:`NodeAlgorithm` per node.
+    trace:
+        Optional :class:`ExecutionTrace`; defaults to a no-op trace.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        factory: AlgorithmFactory,
+        trace: Optional[ExecutionTrace] = None,
+    ) -> None:
+        self.network = network
+        self.trace = trace if trace is not None else NullTrace()
+        self.metrics = ExecutionMetrics(total_nodes=len(network))
+        self.contexts: Dict[NodeId, NodeContext] = {}
+        self.algorithms: Dict[NodeId, NodeAlgorithm] = {}
+        # Messages delivered at the *start* of the next round, keyed by receiver.
+        self._pending: Dict[NodeId, Dict[NodeId, object]] = {}
+        self._round = 0
+        self._started = False
+
+        for node_id in network.node_ids:
+            ctx = NodeContext(
+                node_id=node_id,
+                neighbors=network.neighbors(node_id),
+                local_input=network.local_input(node_id),
+            )
+            self.contexts[node_id] = ctx
+            self.algorithms[node_id] = factory.create(node_id)
+
+    # ------------------------------------------------------------------
+    @property
+    def round_number(self) -> int:
+        """The number of completed communication rounds."""
+        return self._round
+
+    def active_nodes(self) -> Iterable[NodeId]:
+        """Identifiers of nodes that have not halted yet."""
+        return (nid for nid, ctx in self.contexts.items() if not ctx.halted)
+
+    def all_halted(self) -> bool:
+        """True when every node has halted."""
+        return all(ctx.halted for ctx in self.contexts.values())
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Run the round-0 initialisation (``on_start``) on every node."""
+        if self._started:
+            return
+        self._started = True
+        self.trace.on_round_begin(0)
+        for node_id in self.network.node_ids:
+            ctx = self.contexts[node_id]
+            self.algorithms[node_id].on_start(ctx)
+            if ctx.halted:
+                self.metrics.record_halt(node_id, 0)
+                self.trace.on_halt(0, node_id, ctx.output)
+        self._collect_outboxes()
+
+    def step(self) -> None:
+        """Execute one synchronous communication round."""
+        if not self._started:
+            self.start()
+        self._round += 1
+        self.metrics.rounds = self._round
+        self.trace.on_round_begin(self._round)
+
+        delivered, self._pending = self._pending, {}
+        for node_id in self.network.node_ids:
+            ctx = self.contexts[node_id]
+            if ctx.halted:
+                continue
+            ctx.round_number = self._round
+            inbox = Inbox(delivered.get(node_id, {}))
+            self.algorithms[node_id].on_round(ctx, inbox)
+            if ctx.halted:
+                self.metrics.record_halt(node_id, self._round)
+                self.trace.on_halt(self._round, node_id, ctx.output)
+        self._collect_outboxes()
+
+    def stop(self) -> None:
+        """Invoke the ``on_stop`` hook on every algorithm instance."""
+        for node_id in self.network.node_ids:
+            self.algorithms[node_id].on_stop(self.contexts[node_id])
+
+    # ------------------------------------------------------------------
+    def _collect_outboxes(self) -> None:
+        """Drain every node's outbox into the pending-delivery buffer."""
+        for node_id in self.network.node_ids:
+            ctx = self.contexts[node_id]
+            outbox = ctx._drain_outbox()
+            for receiver, payload in outbox.items():
+                receiver_ctx = self.contexts[receiver]
+                if receiver_ctx.halted:
+                    # Messages to halted nodes cannot affect any output.
+                    continue
+                self._pending.setdefault(receiver, {})[node_id] = payload
+                self.metrics.messages_sent += 1
+                self.trace.on_message(self._round, node_id, receiver, payload)

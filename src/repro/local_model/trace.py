@@ -1,0 +1,132 @@
+"""Optional execution tracing for the LOCAL-model simulator.
+
+Traces are primarily a debugging and teaching aid: they let the examples
+show, round by round, which messages were exchanged and when each node
+halted, mirroring the "orange arrows" in Figure 2 of the paper.
+
+Tracing is off by default because recording every message is costly on
+large sweeps; the runner accepts an :class:`ExecutionTrace` instance to
+turn it on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, List, Tuple
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single recorded event.
+
+    ``kind`` is one of ``"message"``, ``"halt"`` or ``"round"``; the
+    remaining fields are populated depending on the kind.
+    """
+
+    kind: str
+    round_number: int
+    node: NodeId = None
+    peer: NodeId = None
+    payload: Any = None
+
+
+@dataclass
+class ExecutionTrace:
+    """Accumulates :class:`TraceEvent` records during a simulation.
+
+    Parameters
+    ----------
+    record_messages:
+        When False only round boundaries and halts are recorded, which is
+        much cheaper on message-heavy executions.
+    max_events:
+        Safety valve: recording stops (silently) after this many events so
+        that accidentally tracing a huge sweep cannot exhaust memory.
+    """
+
+    record_messages: bool = True
+    max_events: int = 1_000_000
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def _append(self, event: TraceEvent) -> None:
+        if len(self.events) < self.max_events:
+            self.events.append(event)
+
+    def on_round_begin(self, round_number: int) -> None:
+        self._append(TraceEvent(kind="round", round_number=round_number))
+
+    def on_message(
+        self, round_number: int, sender: NodeId, receiver: NodeId, payload: Any
+    ) -> None:
+        if self.record_messages:
+            self._append(
+                TraceEvent(
+                    kind="message",
+                    round_number=round_number,
+                    node=sender,
+                    peer=receiver,
+                    payload=payload,
+                )
+            )
+
+    def on_halt(self, round_number: int, node: NodeId, output: Any) -> None:
+        self._append(
+            TraceEvent(kind="halt", round_number=round_number, node=node, payload=output)
+        )
+
+    # -- queries --------------------------------------------------------
+    def messages(self) -> List[TraceEvent]:
+        """All message events in delivery order."""
+        return [e for e in self.events if e.kind == "message"]
+
+    def halts(self) -> List[TraceEvent]:
+        """All halt events in order of occurrence."""
+        return [e for e in self.events if e.kind == "halt"]
+
+    def messages_in_round(self, round_number: int) -> List[TraceEvent]:
+        """Message events sent during a specific round."""
+        return [
+            e
+            for e in self.events
+            if e.kind == "message" and e.round_number == round_number
+        ]
+
+    def rounds_recorded(self) -> int:
+        """Number of round boundaries recorded."""
+        return sum(1 for e in self.events if e.kind == "round")
+
+    def format(self, max_lines: int = 200) -> str:
+        """Render the trace as a plain-text transcript (for examples)."""
+        lines: List[str] = []
+        for event in self.events:
+            if len(lines) >= max_lines:
+                lines.append(f"... ({len(self.events) - max_lines} more events)")
+                break
+            if event.kind == "round":
+                lines.append(f"--- round {event.round_number} ---")
+            elif event.kind == "message":
+                lines.append(
+                    f"  {event.node!r} -> {event.peer!r}: {event.payload!r}"
+                )
+            elif event.kind == "halt":
+                lines.append(
+                    f"  {event.node!r} halted with output {event.payload!r}"
+                )
+        return "\n".join(lines)
+
+
+def _noop(*_args: Any, **_kwargs: Any) -> None:
+    """Shared do-nothing callback used when tracing is disabled."""
+
+
+class NullTrace:
+    """A trace object that records nothing (used when tracing is off)."""
+
+    record_messages = False
+    events: Tuple[TraceEvent, ...] = ()
+
+    on_round_begin = staticmethod(_noop)
+    on_message = staticmethod(_noop)
+    on_halt = staticmethod(_noop)

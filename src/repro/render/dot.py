@@ -1,0 +1,81 @@
+"""Graphviz DOT export for instances, orientations, and solutions.
+
+The exported text can be rendered with any Graphviz installation
+(``dot -Tpdf``); no Graphviz dependency is needed to *produce* it, so the
+library stays pure-Python.  Used by the CLI's ``--dot`` options.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.core.orientation.problem import Orientation
+from repro.core.token_dropping.game import TokenDroppingInstance
+from repro.core.token_dropping.traversal import TokenDroppingSolution
+
+NodeId = Hashable
+
+
+def _quote(value: object) -> str:
+    text = str(value).replace('"', '\\"')
+    return f'"{text}"'
+
+
+def token_dropping_to_dot(
+    instance: TokenDroppingInstance, solution: Optional[TokenDroppingSolution] = None
+) -> str:
+    """DOT digraph of a layered game; traversed edges are highlighted.
+
+    Nodes are ranked by level (same-level nodes share a rank), initial
+    token holders are filled, and -- when a solution is given -- the edges
+    used by traversals are drawn bold/coloured and final destinations are
+    double-circled.
+    """
+    consumed = solution.consumed_edges() if solution is not None else frozenset()
+    destinations = solution.destinations if solution is not None else frozenset()
+    lines = ["digraph token_dropping {", "  rankdir=TB;", "  node [shape=circle];"]
+
+    for level in range(instance.height, -1, -1):
+        nodes = instance.graph.nodes_at_level(level)
+        if not nodes:
+            continue
+        lines.append("  { rank=same; " + " ".join(_quote(n) + ";" for n in nodes) + " }")
+        for node in nodes:
+            attributes = []
+            if node in instance.tokens:
+                attributes.append("style=filled")
+                attributes.append("fillcolor=gray80")
+            if node in destinations:
+                attributes.append("shape=doublecircle")
+            attr_text = f" [{', '.join(attributes)}]" if attributes else ""
+            lines.append(f"  {_quote(node)}{attr_text};")
+
+    for child, parent in sorted(instance.graph.edges, key=repr):
+        attributes = []
+        if (child, parent) in consumed:
+            attributes.append("color=orange")
+            attributes.append("penwidth=2.5")
+        attr_text = f" [{', '.join(attributes)}]" if attributes else ""
+        lines.append(f"  {_quote(parent)} -> {_quote(child)}{attr_text};")
+
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def orientation_to_dot(orientation: Orientation) -> str:
+    """DOT digraph of an orientation; node labels include loads, unhappy edges are red."""
+    lines = ["digraph orientation {", "  node [shape=circle];"]
+    for node in orientation.problem.nodes:
+        label = f"{node}\\nload={orientation.load(node)}"
+        lines.append(f"  {_quote(node)} [label={_quote(label)}];")
+    for tail, head in orientation.oriented_edges():
+        attributes = []
+        if not orientation.is_happy(tail, head):
+            attributes.append("color=red")
+            attributes.append("penwidth=2.5")
+        attr_text = f" [{', '.join(attributes)}]" if attributes else ""
+        lines.append(f"  {_quote(tail)} -> {_quote(head)}{attr_text};")
+    for u, v in orientation.unoriented_edges():
+        lines.append(f"  {_quote(u)} -> {_quote(v)} [dir=none, style=dashed];")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Named workload scenarios shared by examples and benchmarks."""
+
+from repro.workloads.scenarios import (
+    bounded_degree_token_dropping,
+    caterpillar_orientation,
+    datacenter_assignment,
+    figure2_game,
+    hard_matching_bipartite,
+    long_path_orientation,
+    random_token_dropping,
+    regular_orientation,
+    sensor_network_orientation,
+    two_cliques_bottleneck,
+    uniform_assignment,
+)
+
+__all__ = [
+    "bounded_degree_token_dropping",
+    "caterpillar_orientation",
+    "datacenter_assignment",
+    "figure2_game",
+    "hard_matching_bipartite",
+    "long_path_orientation",
+    "random_token_dropping",
+    "regular_orientation",
+    "sensor_network_orientation",
+    "two_cliques_bottleneck",
+    "uniform_assignment",
+]

@@ -1,0 +1,189 @@
+"""Unit tests for assignments, stability, and semi-matching utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import (
+    Assignment,
+    AssignmentError,
+    AssignmentProblemSummary,
+    approximation_ratio,
+    check_stable_assignment,
+    effective_load,
+    greedy_assignment,
+    is_two_approximation,
+    load_histogram,
+    optimal_cost,
+    optimal_semi_matching,
+    semi_matching_cost,
+    triangular,
+    worst_server_load,
+)
+from repro.graphs.bipartite import CustomerServerGraph
+from repro.graphs.generators import complete_bipartite, random_bipartite_customer_server
+
+
+@pytest.fixture
+def small_graph() -> CustomerServerGraph:
+    return CustomerServerGraph(
+        customers=["c1", "c2", "c3"],
+        servers=["s1", "s2"],
+        edges=[("c1", "s1"), ("c1", "s2"), ("c2", "s1"), ("c2", "s2"), ("c3", "s1")],
+    )
+
+
+class TestAssignmentBasics:
+    def test_assign_and_loads(self, small_graph):
+        assignment = Assignment(small_graph)
+        assignment.assign("c1", "s1")
+        assignment.assign("c2", "s1")
+        assert assignment.load("s1") == 2
+        assert assignment.load("s2") == 0
+        assert assignment.server_of("c1") == "s1"
+        assert not assignment.is_complete()
+        assert assignment.unassigned_customers() == ("c3",)
+
+    def test_reassign_updates_loads(self, small_graph):
+        assignment = Assignment(small_graph)
+        assignment.assign("c1", "s1")
+        assignment.assign("c1", "s2")
+        assert assignment.load("s1") == 0
+        assert assignment.load("s2") == 1
+
+    def test_unassign(self, small_graph):
+        assignment = Assignment(small_graph)
+        assignment.assign("c1", "s1")
+        assignment.unassign("c1")
+        assert assignment.load("s1") == 0
+        assert not assignment.is_assigned("c1")
+
+    def test_invalid_assignments_rejected(self, small_graph):
+        assignment = Assignment(small_graph)
+        with pytest.raises(AssignmentError):
+            assignment.assign("zzz", "s1")
+        with pytest.raises(AssignmentError):
+            assignment.assign("c3", "s2")  # not adjacent
+
+    def test_copy_independent(self, small_graph):
+        assignment = Assignment(small_graph)
+        assignment.assign("c1", "s1")
+        clone = assignment.copy()
+        clone.assign("c1", "s2")
+        assert assignment.server_of("c1") == "s1"
+
+    def test_constructor_choices(self, small_graph):
+        assignment = Assignment(small_graph, choices={"c1": "s2", "c2": "s1"})
+        assert assignment.load("s2") == 1
+        assert assignment.load("s1") == 1
+
+
+class TestStability:
+    def test_badness_and_happiness(self, small_graph):
+        assignment = Assignment(small_graph)
+        assignment.assign("c1", "s1")
+        assignment.assign("c2", "s1")
+        assignment.assign("c3", "s1")
+        # c1 on s1 (load 3) with s2 at load 0 -> badness 3, unhappy.
+        assert assignment.badness("c1") == 3
+        assert not assignment.is_happy("c1")
+        # c3 has only one server: badness 0 by convention.
+        assert assignment.badness("c3") == 0
+        assert assignment.is_happy("c3")
+        assert set(assignment.unhappy_customers()) == {"c1", "c2"}
+        assert not assignment.is_stable()
+        assert assignment.max_badness() == 3
+
+    def test_negative_badness_when_choice_is_best(self, small_graph):
+        assignment = Assignment(small_graph)
+        assignment.assign("c2", "s1")
+        assignment.assign("c3", "s1")
+        assignment.assign("c1", "s2")
+        # c1 on s2 (load 1) vs s1 (load 2): badness negative.
+        assert assignment.badness("c1") == -1
+        assert assignment.is_stable()
+        assert check_stable_assignment(assignment) == []
+
+    def test_unassigned_badness_raises(self, small_graph):
+        assignment = Assignment(small_graph)
+        with pytest.raises(AssignmentError):
+            assignment.badness("c1")
+
+    def test_check_stable_reports_unassigned(self, small_graph):
+        assignment = Assignment(small_graph)
+        violations = check_stable_assignment(assignment)
+        assert violations and "unassigned" in violations[0]
+
+    def test_effective_load(self):
+        assert effective_load(5, None) == 5
+        assert effective_load(5, 2) == 2
+        assert effective_load(1, 2) == 1
+        with pytest.raises(AssignmentError):
+            effective_load(3, 1)
+
+    def test_k_bounded_happiness(self, small_graph):
+        assignment = Assignment(small_graph)
+        assignment.assign("c1", "s1")
+        assignment.assign("c2", "s1")
+        assignment.assign("c3", "s1")
+        # With k=2 the badness of c1 is eff(3)-eff(0) = 2 -> still unhappy.
+        assert assignment.badness("c1", k=2) == 2
+        assert not assignment.is_stable(k=2)
+
+    def test_summary(self, small_graph):
+        summary = AssignmentProblemSummary.of(small_graph)
+        assert summary.num_customers == 3
+        assert summary.num_servers == 2
+        assert summary.max_customer_degree == 2
+        assert summary.max_server_degree == 3
+
+
+class TestSemiMatching:
+    def test_triangular(self):
+        assert [triangular(x) for x in range(5)] == [0, 1, 3, 6, 10]
+        with pytest.raises(ValueError):
+            triangular(-1)
+
+    def test_costs(self, small_graph):
+        assignment = Assignment(small_graph)
+        assignment.assign("c1", "s1")
+        assignment.assign("c2", "s2")
+        assignment.assign("c3", "s1")
+        assert assignment.semi_matching_cost() == triangular(2) + triangular(1)
+        assert semi_matching_cost(assignment.loads()) == assignment.semi_matching_cost()
+        assert worst_server_load(assignment.loads()) == 2
+        assert load_histogram(assignment.loads()) == {1: 1, 2: 1}
+
+    def test_optimal_on_small_graph(self, small_graph):
+        optimal = optimal_semi_matching(small_graph)
+        assert optimal.is_complete()
+        # Best possible: loads (2, 1) -> cost 3 + 1 = 4 (c3 must use s1).
+        assert optimal.semi_matching_cost() == 4
+        assert optimal_cost(small_graph) == 4
+
+    def test_optimal_is_minimal_over_greedy(self):
+        graph = random_bipartite_customer_server(30, 8, 3, seed=7, server_skew=1.5)
+        optimal = optimal_semi_matching(graph)
+        greedy = greedy_assignment(graph, order="random", seed=1)
+        assert optimal.semi_matching_cost() <= greedy.semi_matching_cost()
+        assert approximation_ratio(optimal) == pytest.approx(1.0)
+
+    def test_greedy_assignment_complete(self):
+        graph = complete_bipartite(6, 3)
+        assignment = greedy_assignment(graph)
+        assert assignment.is_complete()
+        # Complete bipartite: greedy balances perfectly.
+        assert assignment.max_load() == 2
+
+    def test_greedy_invalid_order(self, small_graph):
+        with pytest.raises(ValueError):
+            greedy_assignment(small_graph, order="bogus")
+
+    def test_is_two_approximation_of_optimal(self, small_graph):
+        optimal = optimal_semi_matching(small_graph)
+        assert is_two_approximation(optimal)
+
+    def test_approximation_ratio_with_precomputed_optimum(self, small_graph):
+        optimal = optimal_semi_matching(small_graph)
+        ratio = approximation_ratio(optimal, optimum=4)
+        assert ratio == pytest.approx(1.0)

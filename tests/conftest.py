@@ -1,0 +1,19 @@
+"""Shared pytest fixtures for the reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministically seeded RNG shared by randomised tests."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(params=[0, 1, 2])
+def seed(request: pytest.FixtureRequest) -> int:
+    """A small set of seeds for tests that want a few independent draws."""
+    return request.param

@@ -1,0 +1,105 @@
+"""Unit tests for customer--server graphs and hypergraphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.bipartite import BipartiteGraphError, CustomerServerGraph
+from repro.graphs.hypergraph import Hypergraph, HypergraphError
+
+
+@pytest.fixture
+def small_csg() -> CustomerServerGraph:
+    return CustomerServerGraph(
+        customers=["c1", "c2", "c3"],
+        servers=["s1", "s2"],
+        edges=[("c1", "s1"), ("c1", "s2"), ("c2", "s1"), ("c3", "s2")],
+    )
+
+
+class TestCustomerServerGraph:
+    def test_basic_queries(self, small_csg: CustomerServerGraph):
+        assert small_csg.customers == ("c1", "c2", "c3")
+        assert small_csg.servers == ("s1", "s2")
+        assert small_csg.servers_of("c1") == frozenset({"s1", "s2"})
+        assert small_csg.customers_of("s1") == frozenset({"c1", "c2"})
+        assert small_csg.num_edges() == 4
+        assert len(small_csg) == 5
+
+    def test_degree_parameters(self, small_csg: CustomerServerGraph):
+        assert small_csg.max_customer_degree() == 2
+        assert small_csg.max_server_degree() == 2
+        assert small_csg.customer_degree("c2") == 1
+        assert small_csg.server_degree("s2") == 2
+        assert small_csg.max_degree() == 2
+
+    def test_edges_deterministic(self, small_csg: CustomerServerGraph):
+        assert small_csg.edges() == small_csg.edges()
+        assert ("c1", "s1") in small_csg.edges()
+
+    def test_overlapping_ids_rejected(self):
+        with pytest.raises(BipartiteGraphError):
+            CustomerServerGraph(customers=["x"], servers=["x"], edges=[("x", "x")])
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(BipartiteGraphError):
+            CustomerServerGraph(customers=["c"], servers=["s"], edges=[("c", "zzz")])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(BipartiteGraphError):
+            CustomerServerGraph(
+                customers=["c"], servers=["s"], edges=[("c", "s"), ("c", "s")]
+            )
+
+    def test_isolated_customer_rejected(self):
+        with pytest.raises(BipartiteGraphError):
+            CustomerServerGraph(customers=["c1", "c2"], servers=["s"], edges=[("c1", "s")])
+
+    def test_from_orientation_graph(self):
+        csg = CustomerServerGraph.from_orientation_graph([(1, 2), (2, 3)])
+        # Two edges -> two degree-2 customers; three servers.
+        assert len(csg.customers) == 2
+        assert len(csg.servers) == 3
+        assert all(csg.customer_degree(c) == 2 for c in csg.customers)
+
+    def test_from_orientation_graph_rejects_self_loop(self):
+        with pytest.raises(BipartiteGraphError):
+            CustomerServerGraph.from_orientation_graph([(1, 1)])
+
+
+class TestHypergraph:
+    def test_construction_and_queries(self):
+        hg = Hypergraph(
+            vertices=["s1", "s2", "s3"],
+            hyperedges={"e1": ["s1", "s2"], "e2": ["s1", "s2", "s3"]},
+        )
+        assert hg.vertices == ("s1", "s2", "s3")
+        assert hg.hyperedges == ("e1", "e2")
+        assert hg.members("e2") == frozenset({"s1", "s2", "s3"})
+        assert hg.edges_at("s1") == frozenset({"e1", "e2"})
+        assert hg.rank("e1") == 2
+        assert hg.max_rank() == 3
+        assert hg.vertex_degree("s3") == 1
+        assert hg.max_vertex_degree() == 2
+        assert hg.num_hyperedges() == 2
+        assert len(hg) == 3
+
+    def test_empty_hyperedge_rejected(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph(vertices=["a"], hyperedges={"e": []})
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph(vertices=["a"], hyperedges={"e": ["a", "b"]})
+
+    def test_roundtrip_with_customer_server_graph(self):
+        csg = CustomerServerGraph(
+            customers=["c1", "c2"],
+            servers=["s1", "s2", "s3"],
+            edges=[("c1", "s1"), ("c1", "s2"), ("c2", "s2"), ("c2", "s3")],
+        )
+        hg = Hypergraph.from_customer_server(csg)
+        assert hg.max_rank() == csg.max_customer_degree()
+        assert hg.max_vertex_degree() == csg.max_server_degree()
+        back = hg.to_customer_server()
+        assert set(back.edges()) == set(csg.edges())

@@ -1,0 +1,90 @@
+"""Unit tests for :class:`repro.graphs.layered.LayeredGraph`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.layered import LayeredGraph, LayeredGraphError
+
+
+@pytest.fixture
+def small_layered() -> LayeredGraph:
+    """Three levels: a at 0, b/c at 1, d at 2; edges a<-b, a<-c, b<-d."""
+    return LayeredGraph(
+        levels={"a": 0, "b": 1, "c": 1, "d": 2},
+        edges=[("a", "b"), ("a", "c"), ("b", "d")],
+    )
+
+
+class TestConstruction:
+    def test_valid_instance(self, small_layered: LayeredGraph):
+        assert len(small_layered) == 4
+        assert small_layered.num_edges() == 3
+        assert small_layered.height() == 2
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(LayeredGraphError):
+            LayeredGraph(levels={"a": -1})
+
+    def test_non_integer_level_rejected(self):
+        with pytest.raises(LayeredGraphError):
+            LayeredGraph(levels={"a": 1.5})
+
+    def test_edge_to_unknown_node_rejected(self):
+        with pytest.raises(LayeredGraphError):
+            LayeredGraph(levels={"a": 0}, edges=[("a", "b")])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(LayeredGraphError):
+            LayeredGraph(levels={"a": 0}, edges=[("a", "a")])
+
+    def test_level_constraint_enforced(self):
+        with pytest.raises(LayeredGraphError):
+            LayeredGraph(levels={"a": 0, "b": 2}, edges=[("a", "b")])
+        with pytest.raises(LayeredGraphError):
+            LayeredGraph(levels={"a": 0, "b": 0}, edges=[("a", "b")])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(LayeredGraphError):
+            LayeredGraph(
+                levels={"a": 0, "b": 1}, edges=[("a", "b"), ("a", "b")]
+            )
+
+    def test_empty_graph(self):
+        empty = LayeredGraph(levels={})
+        assert len(empty) == 0
+        assert empty.height() == 0
+        assert empty.max_degree() == 0
+
+
+class TestQueries:
+    def test_parents_and_children(self, small_layered: LayeredGraph):
+        assert small_layered.parents("a") == frozenset({"b", "c"})
+        assert small_layered.children("b") == frozenset({"a"})
+        assert small_layered.parents("d") == frozenset()
+        assert small_layered.children("d") == frozenset({"b"})
+
+    def test_levels_and_nodes_at_level(self, small_layered: LayeredGraph):
+        assert small_layered.level("d") == 2
+        assert small_layered.nodes_at_level(1) == ("b", "c")
+
+    def test_degrees(self, small_layered: LayeredGraph):
+        assert small_layered.degree("a") == 2
+        assert small_layered.degree("b") == 2
+        assert small_layered.max_degree() == 2
+
+    def test_adjacency(self, small_layered: LayeredGraph):
+        adjacency = small_layered.as_adjacency()
+        assert set(adjacency["a"]) == {"b", "c"}
+        assert set(adjacency["d"]) == {"b"}
+
+    def test_contains(self, small_layered: LayeredGraph):
+        assert "a" in small_layered
+        assert "zz" not in small_layered
+
+    def test_restrict_to(self, small_layered: LayeredGraph):
+        sub = small_layered.restrict_to({"a", "b", "d"})
+        assert len(sub) == 3
+        assert sub.num_edges() == 2
+        with pytest.raises(LayeredGraphError):
+            small_layered.restrict_to({"a", "nope"})

@@ -1,0 +1,70 @@
+"""Unit tests for message envelopes, outboxes, and inboxes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.local_model.messages import Envelope, Inbox, Outbox
+
+
+class TestOutbox:
+    def test_put_and_items(self):
+        outbox = Outbox()
+        outbox.put(2, "hello")
+        outbox.put(3, "world")
+        assert dict(outbox.items()) == {2: "hello", 3: "world"}
+        assert len(outbox) == 2
+
+    def test_put_overwrites_same_receiver(self):
+        outbox = Outbox()
+        outbox.put(2, "first")
+        outbox.put(2, "second")
+        assert dict(outbox.items()) == {2: "second"}
+        assert len(outbox) == 1
+
+    def test_clear(self):
+        outbox = Outbox()
+        outbox.put(1, "x")
+        outbox.clear()
+        assert len(outbox) == 0
+
+    def test_contains(self):
+        outbox = Outbox()
+        outbox.put(1, "x")
+        assert 1 in outbox
+        assert 2 not in outbox
+
+
+class TestInbox:
+    def test_mapping_interface(self):
+        inbox = Inbox({1: "a", 2: "b"})
+        assert inbox[1] == "a"
+        assert len(inbox) == 2
+        assert set(inbox) == {1, 2}
+        assert dict(inbox) == {1: "a", 2: "b"}
+
+    def test_senders(self):
+        inbox = Inbox({5: "x"})
+        assert inbox.senders() == (5,)
+
+    def test_empty_singleton(self):
+        assert len(Inbox.empty()) == 0
+        assert Inbox.empty() is Inbox.empty()
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            Inbox({})[1]
+
+
+class TestEnvelope:
+    def test_fields(self):
+        env = Envelope(sender=1, receiver=2, round_sent=3, payload="p")
+        assert env.sender == 1
+        assert env.receiver == 2
+        assert env.round_sent == 3
+        assert env.payload == "p"
+
+    def test_frozen(self):
+        env = Envelope(sender=1, receiver=2, round_sent=0, payload=None)
+        with pytest.raises(AttributeError):
+            env.sender = 9  # type: ignore[misc]

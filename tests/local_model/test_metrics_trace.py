@@ -1,0 +1,70 @@
+"""Unit tests for execution metrics and traces."""
+
+from __future__ import annotations
+
+from repro.local_model.metrics import ExecutionMetrics
+from repro.local_model.trace import ExecutionTrace, NullTrace, TraceEvent
+
+
+class TestExecutionMetrics:
+    def test_record_halt_counts_each_node_once(self):
+        metrics = ExecutionMetrics(total_nodes=3)
+        metrics.record_halt("a", 2)
+        metrics.record_halt("a", 5)
+        metrics.record_halt("b", 4)
+        assert metrics.halted_nodes == 2
+        assert metrics.node_halt_rounds == {"a": 2, "b": 4}
+        assert metrics.last_halt_round == 4
+
+    def test_last_halt_round_none_when_nobody_halted(self):
+        assert ExecutionMetrics().last_halt_round is None
+
+    def test_messages_per_round(self):
+        metrics = ExecutionMetrics(rounds=4, messages_sent=10)
+        assert metrics.messages_per_round() == 2.5
+        assert ExecutionMetrics().messages_per_round() == 0.0
+
+    def test_summary_mentions_status(self):
+        metrics = ExecutionMetrics(rounds=3, messages_sent=5, total_nodes=2)
+        assert "stopped" in metrics.summary()
+        metrics.terminated = True
+        assert "terminated" in metrics.summary()
+
+
+class TestExecutionTrace:
+    def test_event_accumulation_and_queries(self):
+        trace = ExecutionTrace()
+        trace.on_round_begin(0)
+        trace.on_message(0, "a", "b", "hello")
+        trace.on_round_begin(1)
+        trace.on_message(1, "b", "a", "world")
+        trace.on_halt(1, "a", output=42)
+        assert trace.rounds_recorded() == 2
+        assert len(trace.messages()) == 2
+        assert len(trace.messages_in_round(1)) == 1
+        assert trace.halts()[0].payload == 42
+
+    def test_max_events_cap(self):
+        trace = ExecutionTrace(max_events=2)
+        for i in range(5):
+            trace.on_round_begin(i)
+        assert len(trace.events) == 2
+
+    def test_format_truncates(self):
+        trace = ExecutionTrace()
+        for i in range(10):
+            trace.on_round_begin(i)
+            trace.on_message(i, 1, 2, i)
+        text = trace.format(max_lines=5)
+        assert "more events" in text
+
+    def test_null_trace_is_inert(self):
+        trace = NullTrace()
+        trace.on_round_begin(0)
+        trace.on_message(0, 1, 2, "x")
+        trace.on_halt(0, 1, None)
+        assert trace.events == ()
+
+    def test_trace_event_defaults(self):
+        event = TraceEvent(kind="round", round_number=3)
+        assert event.node is None and event.peer is None

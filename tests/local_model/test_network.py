@@ -1,0 +1,100 @@
+"""Unit tests for :mod:`repro.local_model.network`."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.local_model import Network, TopologyError
+
+
+class TestConstruction:
+    def test_empty_network(self):
+        net = Network()
+        assert len(net) == 0
+        assert net.max_degree() == 0
+        assert net.num_edges() == 0
+
+    def test_nodes_only(self):
+        net = Network(nodes=[1, 2, 3])
+        assert len(net) == 3
+        assert net.num_edges() == 0
+        assert net.degree(1) == 0
+
+    def test_edges_imply_nodes(self):
+        net = Network(edges=[(1, 2), (2, 3)])
+        assert set(net.node_ids) == {1, 2, 3}
+        assert net.num_edges() == 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            Network(edges=[(1, 1)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(TopologyError):
+            Network(edges=[(1, 2), (2, 1)])
+
+    def test_bad_edge_arity_rejected(self):
+        with pytest.raises(TopologyError):
+            Network(edges=[(1, 2, 3)])
+
+    def test_local_inputs_for_unknown_node_rejected(self):
+        with pytest.raises(TopologyError):
+            Network(nodes=[1], local_inputs={2: "x"})
+
+    def test_from_networkx(self):
+        g = nx.cycle_graph(5)
+        net = Network.from_networkx(g)
+        assert len(net) == 5
+        assert net.num_edges() == 5
+        assert net.max_degree() == 2
+
+    def test_from_edges(self):
+        net = Network.from_edges([("a", "b"), ("b", "c")])
+        assert set(net.node_ids) == {"a", "b", "c"}
+
+
+class TestQueries:
+    @pytest.fixture
+    def triangle(self) -> Network:
+        return Network(edges=[(1, 2), (2, 3), (1, 3)], local_inputs={1: "token"})
+
+    def test_neighbors(self, triangle: Network):
+        assert triangle.neighbors(1) == frozenset({2, 3})
+
+    def test_degree_and_max_degree(self, triangle: Network):
+        assert triangle.degree(2) == 2
+        assert triangle.max_degree() == 2
+
+    def test_has_edge(self, triangle: Network):
+        assert triangle.has_edge(1, 2)
+        assert triangle.has_edge(2, 1)
+        assert not triangle.has_edge(1, 4)
+
+    def test_edges_are_deterministic(self, triangle: Network):
+        assert triangle.edges() == triangle.edges()
+        assert len(triangle.edges()) == 3
+
+    def test_local_input_defaults_to_none(self, triangle: Network):
+        assert triangle.local_input(1) == "token"
+        assert triangle.local_input(2) is None
+
+    def test_contains_and_iter(self, triangle: Network):
+        assert 1 in triangle
+        assert 7 not in triangle
+        assert sorted(triangle) == [1, 2, 3]
+
+    def test_with_local_inputs_replaces(self, triangle: Network):
+        updated = triangle.with_local_inputs({2: "x"})
+        assert updated.local_input(2) == "x"
+        assert updated.local_input(1) is None
+        # original untouched
+        assert triangle.local_input(1) == "token"
+
+    def test_with_local_inputs_unknown_node(self, triangle: Network):
+        with pytest.raises(TopologyError):
+            triangle.with_local_inputs({99: "x"})
+
+    def test_mixed_type_node_ids_sortable(self):
+        net = Network(nodes=[1, "a", (2, 3)])
+        assert len(net.node_ids) == 3

@@ -1,0 +1,159 @@
+"""Unit tests for the stable orientation problem structures."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.orientation import (
+    Orientation,
+    OrientationError,
+    OrientationProblem,
+    arbitrary_complete_orientation,
+    check_stable,
+    edge_key,
+)
+
+
+@pytest.fixture
+def triangle() -> OrientationProblem:
+    return OrientationProblem(edges=[(1, 2), (2, 3), (1, 3)])
+
+
+class TestProblem:
+    def test_basic_queries(self, triangle: OrientationProblem):
+        assert triangle.nodes == (1, 2, 3)
+        assert triangle.num_edges() == 3
+        assert triangle.max_degree() == 2
+        assert triangle.degree(1) == 2
+        assert triangle.neighbors(2) == frozenset({1, 3})
+        assert triangle.has_edge(1, 3)
+        assert not triangle.has_edge(1, 4)
+
+    def test_isolated_nodes(self):
+        problem = OrientationProblem(edges=[(1, 2)], nodes=[5])
+        assert 5 in problem.nodes
+        assert problem.degree(5) == 0
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(OrientationError):
+            OrientationProblem(edges=[(1, 2), (2, 1)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(OrientationError):
+            OrientationProblem(edges=[(1, 1)])
+
+    def test_from_networkx(self):
+        problem = OrientationProblem.from_networkx(nx.cycle_graph(4))
+        assert problem.num_edges() == 4
+        assert problem.max_degree() == 2
+
+    def test_edge_key_canonical(self):
+        assert edge_key(2, 1) == (1, 2)
+        assert edge_key("b", "a") == ("a", "b")
+        with pytest.raises(OrientationError):
+            edge_key(1, 1)
+
+
+class TestOrientation:
+    def test_orient_and_loads(self, triangle: OrientationProblem):
+        orientation = Orientation(triangle)
+        orientation.orient(1, 2, head=2)
+        orientation.orient(2, 3, head=2)
+        assert orientation.load(2) == 2
+        assert orientation.load(1) == 0
+        assert orientation.num_oriented() == 2
+        assert not orientation.is_complete()
+        assert orientation.unoriented_edges() == ((1, 3),)
+
+    def test_orient_unknown_edge_rejected(self, triangle: OrientationProblem):
+        orientation = Orientation(triangle)
+        with pytest.raises(OrientationError):
+            orientation.orient(1, 4, head=1)
+
+    def test_orient_bad_head_rejected(self, triangle: OrientationProblem):
+        orientation = Orientation(triangle)
+        with pytest.raises(OrientationError):
+            orientation.orient(1, 2, head=3)
+
+    def test_flip(self, triangle: OrientationProblem):
+        orientation = Orientation(triangle)
+        orientation.orient(1, 2, head=2)
+        orientation.flip(1, 2)
+        assert orientation.head_of(1, 2) == 1
+        assert orientation.load(2) == 0
+        assert orientation.load(1) == 1
+
+    def test_flip_unoriented_rejected(self, triangle: OrientationProblem):
+        orientation = Orientation(triangle)
+        with pytest.raises(OrientationError):
+            orientation.flip(1, 2)
+
+    def test_head_tail_queries(self, triangle: OrientationProblem):
+        orientation = Orientation(triangle)
+        assert orientation.head_of(1, 2) is None
+        assert orientation.tail_of(1, 2) is None
+        orientation.orient(1, 2, head=1)
+        assert orientation.head_of(2, 1) == 1
+        assert orientation.tail_of(1, 2) == 2
+        assert orientation.is_oriented(1, 2)
+
+    def test_badness_and_happiness(self, triangle: OrientationProblem):
+        orientation = Orientation(triangle)
+        orientation.orient(1, 2, head=2)
+        orientation.orient(2, 3, head=2)
+        orientation.orient(1, 3, head=3)
+        # load: 1 -> 0, 2 -> 2, 3 -> 1
+        assert orientation.badness(1, 2) == 2
+        assert not orientation.is_happy(1, 2)
+        assert orientation.is_happy(1, 3)
+        assert orientation.max_badness() == 2
+        assert len(orientation.unhappy_edges()) == 1
+        assert not orientation.is_stable()
+
+    def test_stable_configuration(self, triangle: OrientationProblem):
+        # Orient the triangle as a directed cycle: every load is 1, stable.
+        orientation = Orientation(triangle)
+        orientation.orient(1, 2, head=2)
+        orientation.orient(2, 3, head=3)
+        orientation.orient(1, 3, head=1)
+        assert orientation.is_stable()
+        assert check_stable(orientation) == []
+
+    def test_check_stable_reports_unoriented(self, triangle: OrientationProblem):
+        orientation = Orientation(triangle)
+        violations = check_stable(orientation)
+        assert violations and "unoriented" in violations[0]
+
+    def test_potentials(self, triangle: OrientationProblem):
+        orientation = Orientation(triangle)
+        orientation.orient(1, 2, head=2)
+        orientation.orient(2, 3, head=2)
+        orientation.orient(1, 3, head=3)
+        assert orientation.sum_squared_loads() == 0 + 4 + 1
+        assert orientation.semi_matching_cost() == 0 + 3 + 1
+        assert orientation.max_load() == 2
+
+    def test_copy_is_independent(self, triangle: OrientationProblem):
+        orientation = Orientation(triangle)
+        orientation.orient(1, 2, head=2)
+        clone = orientation.copy()
+        clone.flip(1, 2)
+        assert orientation.head_of(1, 2) == 2
+        assert clone.head_of(1, 2) == 1
+
+    def test_arbitrary_orientations(self, triangle: OrientationProblem):
+        max_o = arbitrary_complete_orientation(triangle, towards="max")
+        assert max_o.is_complete()
+        min_o = arbitrary_complete_orientation(triangle, towards="min")
+        assert min_o.is_complete()
+        rand_o = arbitrary_complete_orientation(
+            triangle, rng=random.Random(0), towards="random"
+        )
+        assert rand_o.is_complete()
+        with pytest.raises(OrientationError):
+            arbitrary_complete_orientation(triangle, towards="random")
+        with pytest.raises(OrientationError):
+            arbitrary_complete_orientation(triangle, towards="bogus")

@@ -1,0 +1,95 @@
+"""Tests for the locally-optimal load balancing comparison module (Section 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.load_balancing import (
+    bridge_usage_contrast,
+    locally_optimal_load_balancing,
+    orientation_loads_as_initial,
+)
+from repro.core.orientation import OrientationProblem, run_stable_orientation
+from repro.graphs.generators import bounded_degree_gnp, path_graph
+from repro.workloads import two_cliques_bottleneck
+
+
+class TestLoadBalancer:
+    def test_balances_a_path(self):
+        problem = OrientationProblem.from_networkx(path_graph(5))
+        result = locally_optimal_load_balancing(problem, {0: 4})
+        assert result.is_locally_balanced(problem)
+        assert sum(result.loads.values()) == 4
+        assert result.moves > 0
+
+    def test_already_balanced_needs_no_moves(self):
+        problem = OrientationProblem(edges=[(1, 2), (2, 3)])
+        result = locally_optimal_load_balancing(problem, {1: 1, 2: 1, 3: 1})
+        assert result.moves == 0
+        assert result.max_edge_usage() == 0
+
+    def test_conservation_of_load(self):
+        problem = OrientationProblem.from_networkx(bounded_degree_gnp(20, 0.3, 5, seed=1))
+        initial = orientation_loads_as_initial(problem)
+        result = locally_optimal_load_balancing(problem, initial)
+        assert sum(result.loads.values()) == sum(initial.values())
+        assert result.is_locally_balanced(problem)
+
+    def test_input_validation(self):
+        problem = OrientationProblem(edges=[(1, 2)])
+        with pytest.raises(ValueError):
+            locally_optimal_load_balancing(problem, {99: 1})
+        with pytest.raises(ValueError):
+            locally_optimal_load_balancing(problem, {1: -1})
+
+    def test_edge_usage_recorded(self):
+        problem = OrientationProblem.from_networkx(path_graph(3))
+        result = locally_optimal_load_balancing(problem, {0: 3})
+        # One unit must travel across both edges, another across the first only.
+        assert result.edge_usage[(0, 1)] >= 1
+        assert result.moves == sum(result.edge_usage.values())
+
+    @given(
+        n=st.integers(min_value=2, max_value=15),
+        p=st.floats(min_value=0.2, max_value=0.7),
+        seed=st.integers(min_value=0, max_value=2_000),
+        load_seed=st.integers(min_value=0, max_value=2_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_terminates_balanced_and_conserves(self, n, p, seed, load_seed):
+        import random
+
+        problem = OrientationProblem.from_networkx(bounded_degree_gnp(n, p, 5, seed=seed))
+        rng = random.Random(load_seed)
+        initial = {node: rng.randrange(0, 4) for node in problem.nodes}
+        result = locally_optimal_load_balancing(problem, initial)
+        assert result.is_locally_balanced(problem)
+        assert sum(result.loads.values()) == sum(initial.values())
+
+
+class TestSection2Contrast:
+    def test_bottleneck_edge_used_many_times_by_load_balancing(self):
+        """Section 2: across a bridge separating a heavy and an empty clique,
+        free load balancing pushes many units while token dropping / stable
+        orientation uses the bridge at most once."""
+        problem, bridge_u, bridge_v = two_cliques_bottleneck(clique_size=8)
+        # Heavy region: every node of the left clique starts with 4 units.
+        initial = {node: 0 for node in problem.nodes}
+        for node in range(8):
+            initial[node] = 4
+
+        contrast = bridge_usage_contrast(problem, (bridge_u, bridge_v), initial)
+        assert contrast["load_balancing_bridge_uses"] >= 2
+        assert contrast["token_dropping_bridge_uses"] <= 1
+
+        # The stable orientation of the same graph indeed orients (uses) the
+        # bridge exactly once, by definition of an orientation.
+        result = run_stable_orientation(problem)
+        assert result.orientation.is_oriented(bridge_u, bridge_v)
+
+    def test_orientation_loads_as_initial_matches_edge_count(self):
+        problem, _, _ = two_cliques_bottleneck(clique_size=5)
+        initial = orientation_loads_as_initial(problem)
+        assert sum(initial.values()) == problem.num_edges()

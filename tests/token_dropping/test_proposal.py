@@ -1,0 +1,190 @@
+"""Tests for the distributed proposal algorithm (Theorem 4.1).
+
+The key assertions: the algorithm terminates, its output satisfies the
+three rules of the game on every instance we throw at it, and the number
+of game rounds respects the O(L·Δ²) bound with an explicit constant.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.token_dropping import (
+    ROUNDS_PER_GAME_ROUND,
+    TokenDroppingInstance,
+    exhaustive_is_stuck,
+    figure2_instance,
+    greedy_token_dropping,
+    random_token_placement,
+    run_proposal_algorithm,
+)
+from repro.graphs.generators import random_layered_graph
+from repro.graphs.layered import LayeredGraph
+
+
+def make_random_instance(
+    num_levels: int, width: int, p: float, token_fraction: float, seed: int
+) -> TokenDroppingInstance:
+    rng = random.Random(seed)
+    graph = random_layered_graph(num_levels, width, p, seed=rng)
+    tokens = random_token_placement(graph, token_fraction, rng)
+    return TokenDroppingInstance(graph, tokens)
+
+
+class TestSmallInstances:
+    def test_single_token_falls_to_bottom_of_chain(self):
+        graph = LayeredGraph(
+            levels={"a": 0, "b": 1, "c": 2}, edges=[("a", "b"), ("b", "c")]
+        )
+        instance = TokenDroppingInstance(graph, tokens={"c"})
+        solution = run_proposal_algorithm(instance)
+        solution.validate(instance).raise_if_invalid()
+        assert solution.traversal_of("c").destination == "a"
+        assert solution.total_moves() == 2
+
+    def test_no_tokens_trivial(self):
+        graph = LayeredGraph(levels={"a": 0, "b": 1}, edges=[("a", "b")])
+        instance = TokenDroppingInstance(graph, tokens=set())
+        solution = run_proposal_algorithm(instance)
+        assert solution.traversals == {}
+        solution.validate(instance).raise_if_invalid()
+
+    def test_blocked_token_stays(self):
+        # Both nodes hold a token: nothing can move.
+        graph = LayeredGraph(levels={"a": 0, "b": 1}, edges=[("a", "b")])
+        instance = TokenDroppingInstance(graph, tokens={"a", "b"})
+        solution = run_proposal_algorithm(instance)
+        solution.validate(instance).raise_if_invalid()
+        assert solution.traversal_of("b").destination == "b"
+        assert solution.traversal_of("a").destination == "a"
+
+    def test_two_tokens_one_slot(self):
+        # Two level-1 tokens compete for a single level-0 node.
+        graph = LayeredGraph(
+            levels={"x": 0, "p": 1, "q": 1},
+            edges=[("x", "p"), ("x", "q")],
+        )
+        instance = TokenDroppingInstance(graph, tokens={"p", "q"})
+        solution = run_proposal_algorithm(instance)
+        solution.validate(instance).raise_if_invalid()
+        destinations = solution.destinations
+        assert "x" in destinations
+        assert len(destinations) == 2  # the other token stays put
+
+    def test_isolated_nodes(self):
+        graph = LayeredGraph(levels={"a": 0, "b": 3}, edges=[])
+        instance = TokenDroppingInstance(graph, tokens={"b"})
+        solution = run_proposal_algorithm(instance)
+        solution.validate(instance).raise_if_invalid()
+        assert solution.traversal_of("b").destination == "b"
+
+    def test_figure2_instance_solved(self):
+        instance = figure2_instance()
+        solution = run_proposal_algorithm(instance)
+        solution.validate(instance).raise_if_invalid()
+        assert exhaustive_is_stuck(instance, solution)
+        assert solution.game_rounds is not None
+        assert solution.communication_rounds == pytest.approx(
+            solution.game_rounds * ROUNDS_PER_GAME_ROUND, abs=ROUNDS_PER_GAME_ROUND
+        )
+
+
+class TestRandomInstances:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_instances_valid_and_stuck(self, seed):
+        instance = make_random_instance(
+            num_levels=5, width=4, p=0.5, token_fraction=0.5, seed=seed
+        )
+        solution = run_proposal_algorithm(instance)
+        solution.validate(instance).raise_if_invalid()
+        assert exhaustive_is_stuck(instance, solution)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_round_bound_respected(self, seed):
+        instance = make_random_instance(
+            num_levels=6, width=5, p=0.6, token_fraction=0.6, seed=seed
+        )
+        solution = run_proposal_algorithm(instance)
+        bound = instance.theoretical_round_bound()
+        assert solution.game_rounds <= bound
+
+    @pytest.mark.parametrize("tie_break", ["min", "max", "random"])
+    def test_tie_break_policies_all_valid(self, tie_break):
+        instance = make_random_instance(
+            num_levels=4, width=4, p=0.6, token_fraction=0.5, seed=11
+        )
+        solution = run_proposal_algorithm(instance, tie_break=tie_break, seed=3)
+        solution.validate(instance).raise_if_invalid()
+
+    def test_unknown_tie_break_rejected(self):
+        instance = make_random_instance(3, 3, 0.5, 0.5, seed=0)
+        with pytest.raises(ValueError):
+            run_proposal_algorithm(instance, tie_break="bogus")
+
+    def test_deterministic_given_seed_and_policy(self):
+        instance = make_random_instance(4, 4, 0.5, 0.5, seed=5)
+        s1 = run_proposal_algorithm(instance, tie_break="random", seed=9)
+        s2 = run_proposal_algorithm(instance, tie_break="random", seed=9)
+        assert {t: s.path for t, s in s1.traversals.items()} == {
+            t: s.path for t, s in s2.traversals.items()
+        }
+
+    def test_matches_greedy_on_token_and_move_conservation(self):
+        instance = make_random_instance(5, 4, 0.5, 0.5, seed=13)
+        distributed = run_proposal_algorithm(instance)
+        central = greedy_token_dropping(instance)
+        # Both are valid, both keep every token, and both end stuck.
+        distributed.validate(instance).raise_if_invalid()
+        central.validate(instance).raise_if_invalid()
+        assert set(distributed.traversals) == set(central.traversals)
+
+
+class TestTailsFromExecution:
+    def test_extended_traversals_start_with_traversal(self):
+        instance = make_random_instance(5, 4, 0.6, 0.5, seed=21)
+        solution = run_proposal_algorithm(instance)
+        for token, traversal in solution.traversals.items():
+            extended = solution.extended_traversal(token)
+            assert extended[: len(traversal.path)] == traversal.path
+
+    def test_tail_descends_levels(self):
+        instance = make_random_instance(6, 4, 0.6, 0.6, seed=22)
+        solution = run_proposal_algorithm(instance)
+        graph = instance.graph
+        for token in solution.traversals:
+            tail = solution.tail_of(token)
+            levels = [graph.level(node) for node in tail]
+            assert levels == sorted(levels, reverse=True)
+
+
+class TestPropertyBased:
+    @given(
+        num_levels=st.integers(min_value=1, max_value=5),
+        width=st.integers(min_value=1, max_value=4),
+        p=st.floats(min_value=0.1, max_value=0.9),
+        token_fraction=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_output_rules_always_hold(self, num_levels, width, p, token_fraction, seed):
+        instance = make_random_instance(num_levels, width, p, token_fraction, seed)
+        solution = run_proposal_algorithm(instance)
+        report = solution.validate(instance)
+        assert report.valid, report.violations
+        assert exhaustive_is_stuck(instance, solution)
+
+    @given(
+        num_levels=st.integers(min_value=2, max_value=5),
+        width=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_tokens_never_lost_or_duplicated(self, num_levels, width, seed):
+        instance = make_random_instance(num_levels, width, 0.5, 0.5, seed)
+        solution = run_proposal_algorithm(instance)
+        assert set(solution.traversals) == set(instance.tokens)
+        assert len(solution.destinations) == len(instance.tokens)

@@ -1,0 +1,85 @@
+"""Tests for the named workload scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.orientation.problem import OrientationProblem
+from repro.core.token_dropping import TokenDroppingInstance
+from repro.graphs.bipartite import CustomerServerGraph
+from repro.workloads import (
+    bounded_degree_token_dropping,
+    caterpillar_orientation,
+    datacenter_assignment,
+    figure2_game,
+    hard_matching_bipartite,
+    long_path_orientation,
+    random_token_dropping,
+    regular_orientation,
+    sensor_network_orientation,
+    two_cliques_bottleneck,
+    uniform_assignment,
+)
+
+
+class TestAssignmentScenarios:
+    def test_datacenter_assignment_shape(self):
+        graph = datacenter_assignment(num_jobs=50, num_servers=10, replicas=3, seed=1)
+        assert isinstance(graph, CustomerServerGraph)
+        assert len(graph.customers) == 50
+        assert len(graph.servers) == 10
+        assert graph.max_customer_degree() == 3
+
+    def test_datacenter_assignment_reproducible(self):
+        g1 = datacenter_assignment(seed=4)
+        g2 = datacenter_assignment(seed=4)
+        assert set(g1.edges()) == set(g2.edges())
+
+    def test_uniform_assignment_is_control(self):
+        skewed = datacenter_assignment(num_jobs=100, num_servers=20, seed=2)
+        uniform = uniform_assignment(num_jobs=100, num_servers=20, seed=2)
+        top_skewed = max(skewed.server_degree(s) for s in skewed.servers)
+        top_uniform = max(uniform.server_degree(s) for s in uniform.servers)
+        assert top_skewed >= top_uniform
+
+    def test_hard_matching_bipartite(self):
+        graph = hard_matching_bipartite(side=15, degree=3, seed=0)
+        assert len(graph.customers) == 15
+        assert len(graph.servers) == 15
+
+
+class TestOrientationScenarios:
+    def test_sensor_network(self):
+        problem = sensor_network_orientation(num_nodes=60, max_degree=6, seed=1)
+        assert isinstance(problem, OrientationProblem)
+        assert problem.max_degree() <= 6
+
+    def test_regular_orientation_fixes_parity(self):
+        problem = regular_orientation(degree=3, num_nodes=11, seed=0)
+        assert problem.max_degree() == 3
+
+    def test_caterpillar_and_path(self):
+        assert caterpillar_orientation(spine=5, legs=2).num_edges() == 4 + 10
+        assert long_path_orientation(length=20).num_edges() == 19
+
+    def test_two_cliques_bottleneck(self):
+        problem, u, v = two_cliques_bottleneck(clique_size=5)
+        assert problem.has_edge(u, v)
+        assert problem.num_edges() == 2 * 10 + 1
+        with pytest.raises(ValueError):
+            two_cliques_bottleneck(clique_size=1)
+
+
+class TestTokenDroppingScenarios:
+    def test_random_token_dropping(self):
+        instance = random_token_dropping(num_levels=5, width=6, seed=3)
+        assert isinstance(instance, TokenDroppingInstance)
+        assert instance.height == 4
+
+    def test_bounded_degree_token_dropping_respects_cap(self):
+        for degree in (2, 4, 6):
+            instance = bounded_degree_token_dropping(num_levels=4, degree=degree, seed=1)
+            assert instance.max_degree <= degree
+
+    def test_figure2_game(self):
+        assert figure2_game().num_tokens == 8
