@@ -5,50 +5,43 @@ optimal semi-matching.  We measure the realized cost ratio on workloads of
 increasing skew, for both the paper's algorithm and the naive greedy
 heuristic, and record the worst observed ratios (the stable ratio must
 never exceed 2; greedy carries no guarantee).
+
+Runs through the experiment engine: each case is a
+:class:`~repro.engine.TaskSpec` over the same
+:func:`repro.engine.library.semi_matching_quality` measure the report
+sweeps, so wall-clock numbers attach to exactly the reported quantities.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core.assignment import (
-    approximation_ratio,
-    greedy_assignment,
-    optimal_cost,
-    run_stable_assignment,
-)
-from repro.workloads import datacenter_assignment, uniform_assignment
+from repro.core.assignment import optimal_cost
+from repro.engine import ExperimentSpec, execute_task, library, parameter_grid
+from repro.workloads import datacenter_assignment
 
 SKEWS = [0.0, 1.0, 2.0]
 
+E8_SPEC = ExperimentSpec(
+    name="E8",
+    measure=library.semi_matching_quality,
+    grid=parameter_grid(skew=SKEWS, jobs=[150], servers=[30]),
+    seeds=(4,),
+)
+
+
+def _task_id(task) -> str:
+    return f"skew{task.params['skew']}"
+
 
 @pytest.mark.experiment("E8")
-@pytest.mark.parametrize("skew", SKEWS)
-def test_stable_assignment_approximation(benchmark, record_rows, skew):
+@pytest.mark.parametrize("task", E8_SPEC.tasks(), ids=_task_id)
+def test_stable_assignment_approximation(benchmark, record_rows, task):
     """Measured cost ratio of the stable assignment vs. the exact optimum."""
-    if skew == 0.0:
-        graph = uniform_assignment(num_jobs=150, num_servers=30, replicas=3, seed=4)
-    else:
-        graph = datacenter_assignment(
-            num_jobs=150, num_servers=30, replicas=3, popularity_skew=skew, seed=4
-        )
-    optimum = optimal_cost(graph)
-
-    result = benchmark(lambda: run_stable_assignment(graph, seed=2))
-    assert result.stable
-    stable_ratio = approximation_ratio(result.assignment, optimum)
-    greedy_ratio = approximation_ratio(
-        greedy_assignment(graph, order="random", seed=2), optimum
-    )
-    record_rows(
-        experiment="E8",
-        skew=skew,
-        optimal_cost=optimum,
-        stable_cost=result.assignment.semi_matching_cost(),
-        stable_ratio=stable_ratio,
-        greedy_ratio=greedy_ratio,
-    )
-    assert stable_ratio <= 2.0
+    result = benchmark(lambda: execute_task(task))
+    assert result.values["stable"]
+    record_rows(experiment="E8", **result.values)
+    assert result.values["stable_ratio"] <= 2.0
 
 
 @pytest.mark.experiment("E8")

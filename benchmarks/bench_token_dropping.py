@@ -9,101 +9,84 @@ worst-case ratio against the explicit bound (which must stay ≤ 1).
 E3 (Theorem 4.7): on games with three levels the specialised algorithm
 uses O(Δ) game rounds, a factor-Δ improvement over running the generic
 algorithm on the same instances.
+
+These benchmarks run *through the experiment engine*: each parametrized
+case is one :class:`~repro.engine.TaskSpec` from the same specs (measure
+function + grid) that ``scripts/run_experiments.py`` sweeps, so the
+benchmark suite times exactly what the report measures.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core.token_dropping import (
-    greedy_token_dropping,
-    run_proposal_algorithm,
-    run_three_level_algorithm,
-)
-from repro.workloads import bounded_degree_token_dropping, random_token_dropping
+from repro.engine import ExperimentSpec, execute_task, library, parameter_grid
 
 DELTA_SWEEP = [2, 4, 6, 8, 12]
 HEIGHT_SWEEP = [2, 4, 6, 8]
 
+E1_DELTA_SPEC = ExperimentSpec(
+    name="E1-delta",
+    measure=library.proposal_rounds_vs_delta,
+    grid=parameter_grid(delta=DELTA_SWEEP),
+    seeds=(0,),
+)
+E1_HEIGHT_SPEC = ExperimentSpec(
+    name="E1-height",
+    measure=library.proposal_rounds_vs_height,
+    grid=parameter_grid(height=HEIGHT_SWEEP),
+    seeds=(0,),
+)
+E3_SPEC = ExperimentSpec(
+    name="E3",
+    measure=library.three_level_vs_generic,
+    grid=parameter_grid(delta=DELTA_SWEEP),
+    seeds=(0,),
+)
+ABLATION_SPEC = ExperimentSpec(
+    name="E1-ablation",
+    measure=library.greedy_order_ablation,
+    grid=parameter_grid(order=["first", "random", "highest_level", "lowest_level"]),
+    seeds=(9,),
+)
+
+
+def _task_id(task) -> str:
+    return "-".join(f"{k}{v}" for k, v in sorted(task.params.items()))
+
 
 @pytest.mark.experiment("E1")
-@pytest.mark.parametrize("delta", DELTA_SWEEP)
-def test_proposal_rounds_vs_delta(benchmark, record_rows, delta):
+@pytest.mark.parametrize("task", E1_DELTA_SPEC.tasks(), ids=_task_id)
+def test_proposal_rounds_vs_delta(benchmark, record_rows, task):
     """Game rounds of the proposal algorithm as Δ grows (fixed height 5)."""
-    instance = bounded_degree_token_dropping(num_levels=6, degree=delta, seed=delta)
-
-    solution = benchmark(lambda: run_proposal_algorithm(instance))
-    solution.validate(instance).raise_if_invalid()
-    bound = instance.theoretical_round_bound()
-    record_rows(
-        experiment="E1",
-        delta=instance.max_degree,
-        height=instance.height,
-        tokens=instance.num_tokens,
-        game_rounds=solution.game_rounds,
-        communication_rounds=solution.communication_rounds,
-        bound=bound,
-        bound_ratio=solution.game_rounds / bound,
-    )
-    assert solution.game_rounds <= bound
+    result = benchmark(lambda: execute_task(task))
+    record_rows(experiment="E1", **result.values)
+    assert result.values["bound_ratio"] <= 1.0
 
 
 @pytest.mark.experiment("E1")
-@pytest.mark.parametrize("height", HEIGHT_SWEEP)
-def test_proposal_rounds_vs_height(benchmark, record_rows, height):
+@pytest.mark.parametrize("task", E1_HEIGHT_SPEC.tasks(), ids=_task_id)
+def test_proposal_rounds_vs_height(benchmark, record_rows, task):
     """Game rounds of the proposal algorithm as the height L grows (fixed Δ)."""
-    instance = random_token_dropping(
-        num_levels=height + 1,
-        width=6,
-        edge_probability=0.5,
-        token_fraction=0.6,
-        max_degree=6,
-        seed=height,
-    )
-    solution = benchmark(lambda: run_proposal_algorithm(instance))
-    solution.validate(instance).raise_if_invalid()
-    record_rows(
-        experiment="E1",
-        delta=instance.max_degree,
-        height=instance.height,
-        game_rounds=solution.game_rounds,
-        bound=instance.theoretical_round_bound(),
-    )
+    result = benchmark(lambda: execute_task(task))
+    record_rows(experiment="E1", **result.values)
+    assert result.values["game_rounds"] <= result.values["bound"]
 
 
 @pytest.mark.experiment("E3")
-@pytest.mark.parametrize("delta", DELTA_SWEEP)
-def test_three_level_vs_generic(benchmark, record_rows, delta):
+@pytest.mark.parametrize("task", E3_SPEC.tasks(), ids=_task_id)
+def test_three_level_vs_generic(benchmark, record_rows, task):
     """Theorem 4.7's O(Δ) algorithm vs. the generic O(Δ²) one on 3-level games."""
-    instance = bounded_degree_token_dropping(num_levels=3, degree=delta, seed=100 + delta)
-
-    fast = benchmark(lambda: run_three_level_algorithm(instance))
-    fast.validate(instance).raise_if_invalid()
-    generic = run_proposal_algorithm(instance)
-    record_rows(
-        experiment="E3",
-        delta=instance.max_degree,
-        tokens=instance.num_tokens,
-        three_level_rounds=fast.game_rounds,
-        generic_rounds=generic.game_rounds,
-        speedup=(generic.game_rounds or 1) / max(fast.game_rounds, 1),
-    )
+    result = benchmark(lambda: execute_task(task))
+    record_rows(experiment="E3", **result.values)
     # The specialised algorithm respects its linear bound.
-    assert fast.game_rounds <= 8 * (instance.max_degree + 1) + 8
+    assert result.values["three_level_rounds"] <= result.values["linear_bound"]
 
 
 @pytest.mark.experiment("E1-ablation")
-@pytest.mark.parametrize("order", ["first", "random", "highest_level", "lowest_level"])
-def test_greedy_order_ablation(benchmark, record_rows, order):
+@pytest.mark.parametrize("task", ABLATION_SPEC.tasks(), ids=_task_id)
+def test_greedy_order_ablation(benchmark, record_rows, task):
     """Ablation: does the centralized move-selection order change total moves?"""
-    instance = random_token_dropping(
-        num_levels=7, width=8, edge_probability=0.4, token_fraction=0.6, seed=9
-    )
-    solution = benchmark(lambda: greedy_token_dropping(instance, order=order, seed=1))
-    solution.validate(instance).raise_if_invalid()
-    record_rows(
-        experiment="E1-ablation",
-        order=order,
-        total_moves=solution.total_moves(),
-        tokens=instance.num_tokens,
-    )
+    result = benchmark(lambda: execute_task(task))
+    record_rows(experiment="E1-ablation", **result.values)
+    assert result.values["total_moves"] >= 0

@@ -1,64 +1,57 @@
 #!/usr/bin/env python3
-"""Regenerate the measured tables of EXPERIMENTS.md.
+"""Regenerate the measured tables of EXPERIMENTS.md through ``repro.engine``.
 
 Runs one moderate-size sweep per experiment (E1-E9 in DESIGN.md) and prints
 a Markdown report to stdout:
 
     python scripts/run_experiments.py > EXPERIMENTS_measured.md
 
-The sweeps are intentionally smaller than the benchmark suite's so the
-whole report regenerates in a few minutes on a laptop; the benchmark suite
-(`pytest benchmarks/ --benchmark-only`) measures the same quantities with
-wall-clock timing attached.
+Every experiment is specified as an :class:`~repro.engine.ExperimentSpec`
+over a measure function from :mod:`repro.engine.library`, so the whole
+report can be sharded across CPUs and resumed after an interrupt:
+
+    python scripts/run_experiments.py --jobs 4 --cache-dir .sweep-cache
+    # ... Ctrl-C mid-way, then continue where it stopped:
+    python scripts/run_experiments.py --jobs 4 --cache-dir .sweep-cache --resume
+
+``--experiment`` restricts the run to a subset (e.g. ``--experiment E3``),
+and ``--seeds`` overrides the per-point seed list (useful for quick smoke
+runs in CI).  The benchmark suite (`pytest benchmarks/ --benchmark-only`)
+measures the same quantities with wall-clock timing attached.
 """
 
 from __future__ import annotations
 
+import argparse
 import math
 import sys
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
-import networkx as nx
-
-from repro.analysis import fit_power_law, markdown_table, max_bound_ratio
-from repro.core.assignment import (
-    approximation_ratio,
-    greedy_assignment,
-    maximal_matching_via_bounded_assignment,
-    optimal_cost,
-    run_bounded_stable_assignment,
-    run_stable_assignment,
-    verify_maximal_matching,
-)
-from repro.core.orientation import (
-    OrientationProblem,
-    run_stable_orientation,
-    sequential_flip_algorithm,
-    synchronous_repair_orientation,
-    theoretical_round_bound,
-)
-from repro.core.token_dropping import (
-    run_proposal_algorithm,
-    run_three_level_algorithm,
-)
-from repro.graphs.validation import check_perfect_dary_tree, graph_girth, is_regular
-from repro.lower_bounds import (
-    height2_matching_instance,
-    lemma61_violations,
-    lemma62_witness,
-    matching_from_height2_solution,
-    theorem63_instance_pair,
-    views_isomorphic,
-)
-from repro.workloads import (
-    bounded_degree_token_dropping,
-    datacenter_assignment,
-    hard_matching_bipartite,
-    random_token_dropping,
-    regular_orientation,
-    uniform_assignment,
+from repro.analysis import fit_power_law, markdown_table
+from repro.engine import (
+    ExperimentSpec,
+    ProgressReporter,
+    ResultCache,
+    ResultSet,
+    library,
+    open_cache,
+    parameter_grid,
+    run_experiment,
 )
 
 SEEDS = (0, 1, 2)
+
+
+@dataclass
+class EngineOptions:
+    """Execution knobs shared by every experiment in the report."""
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    resume: bool = True
+    quiet: bool = False
+    seeds: Optional[Sequence[int]] = None
 
 
 def out(text: str = "") -> None:
@@ -71,63 +64,97 @@ def mean(values) -> float:
     return sum(values) / len(values)
 
 
+def sweep(
+    name: str,
+    measure,
+    grid,
+    opts: EngineOptions,
+    *,
+    seeds: Sequence[int] = SEEDS,
+) -> ResultSet:
+    """Run one engine sweep with the report's shared execution options.
+
+    ``--seeds`` only overrides the seed-swept experiments (those using the
+    default ``SEEDS``); experiments that deliberately pin a single seed
+    per grid point (E2, E5) print one table row per task and would emit
+    malformed tables under a widened seed list.
+    """
+    if opts.seeds and tuple(seeds) == SEEDS:
+        seeds = opts.seeds
+    spec = ExperimentSpec(name=name, measure=measure, grid=grid, seeds=seeds)
+    reporter = ProgressReporter(total=len(spec), label=name, enabled=not opts.quiet)
+    results = run_experiment(
+        spec,
+        jobs=opts.jobs,
+        cache=open_cache(opts.cache_dir),
+        resume=opts.resume,
+        progress=reporter,
+    )
+    reporter.close()
+    return results
+
+
 # ----------------------------------------------------------------------
-def experiment_e1() -> None:
+def experiment_e1(opts: EngineOptions) -> None:
     out("## E1 — Theorem 4.1: proposal algorithm in O(L·Δ²) game rounds\n")
-    rows = []
     deltas = [2, 4, 6, 8, 12]
+    results = sweep(
+        "E1-delta",
+        library.proposal_rounds_vs_delta,
+        parameter_grid(delta=deltas),
+        opts,
+    )
+    rows = []
     means = []
-    bound_ratios = []
     for delta in deltas:
-        rounds, bounds = [], []
-        for seed in SEEDS:
-            instance = bounded_degree_token_dropping(num_levels=6, degree=delta, seed=seed)
-            solution = run_proposal_algorithm(instance)
-            solution.validate(instance).raise_if_invalid()
-            rounds.append(solution.game_rounds)
-            bounds.append(instance.theoretical_round_bound())
-        means.append(mean(rounds))
-        bound_ratios.append(mean(rounds) / mean(bounds))
-        rows.append([delta, 5, f"{mean(rounds):.1f}", f"{mean(rounds) / mean(bounds):.4f}"])
+        point = results.filter(delta=delta)
+        rounds = mean(point.values_of("game_rounds"))
+        ratio = rounds / mean(point.values_of("bound"))
+        means.append(rounds)
+        rows.append([delta, 5, f"{rounds:.1f}", f"{ratio:.4f}"])
     fit = fit_power_law([float(d) for d in deltas], means)
     out(markdown_table(["Δ (cap)", "height L", "game rounds (mean)", "rounds / 8(L+1)(Δ+1)² bound"], rows))
     out(f"\nFitted rounds ≈ {fit.coefficient:.2f}·Δ^{fit.exponent:.2f} at fixed L "
         f"(theorem allows exponent ≤ 2); every run stayed below the explicit bound.\n")
 
-    rows = []
     heights = [2, 4, 6, 8, 10]
+    results = sweep(
+        "E1-height",
+        library.proposal_rounds_vs_height,
+        parameter_grid(height=heights),
+        opts,
+    )
+    rows = []
     h_means = []
     for height in heights:
-        rounds = []
-        for seed in SEEDS:
-            instance = random_token_dropping(
-                num_levels=height + 1, width=6, edge_probability=0.5,
-                token_fraction=0.6, max_degree=6, seed=seed,
-            )
-            solution = run_proposal_algorithm(instance)
-            rounds.append(solution.game_rounds)
-        h_means.append(mean(rounds))
-        rows.append([height, 6, f"{mean(rounds):.1f}"])
+        point = results.filter(height=height)
+        rounds = mean(point.values_of("game_rounds"))
+        h_means.append(rounds)
+        rows.append([height, 6, f"{rounds:.1f}"])
     fit_h = fit_power_law([float(h) for h in heights], h_means)
     out(markdown_table(["height L", "Δ (cap)", "game rounds (mean)"], rows))
     out(f"\nFitted rounds ≈ {fit_h.coefficient:.2f}·L^{fit_h.exponent:.2f} at fixed Δ "
         "(theorem allows exponent ≤ 1 in L).\n")
 
 
-def experiment_e2() -> None:
+def experiment_e2(opts: EngineOptions) -> None:
     out("## E2 — Theorems 4.6 / 7.4: reductions from bipartite maximal matching\n")
+    sides = [20, 40, 60]
+    results = sweep(
+        "E2",
+        library.matching_reductions,
+        parameter_grid(side=sides),
+        opts,
+        seeds=(0,),
+    )
     rows = []
-    for side in (20, 40, 60):
-        graph = hard_matching_bipartite(side=side, degree=4, seed=side)
-        instance = height2_matching_instance(graph)
-        solution = run_proposal_algorithm(instance)
-        matching = matching_from_height2_solution(graph, solution)
-        ok_td = not verify_maximal_matching(graph, matching)
-        matching2, result2 = maximal_matching_via_bounded_assignment(graph, seed=0)
-        ok_ba = not verify_maximal_matching(graph, matching2)
+    for result in results:
+        v = result.values
         rows.append(
-            [side, solution.game_rounds, len(matching), "yes" if ok_td else "NO",
-             result2.phases, len(matching2), "yes" if ok_ba else "NO"]
+            [v["side"], v["td_game_rounds"], v["td_matching_size"],
+             "yes" if v["td_maximal"] else "NO",
+             v["ba_phases"], v["ba_matching_size"],
+             "yes" if v["ba_maximal"] else "NO"]
         )
     out(markdown_table(
         ["side n", "TD game rounds", "TD matching size", "maximal?",
@@ -136,49 +163,50 @@ def experiment_e2() -> None:
         "lower-bound arguments (hardness transfers from maximal matching).\n")
 
 
-def experiment_e3() -> None:
+def experiment_e3(opts: EngineOptions) -> None:
     out("## E3 — Theorem 4.7: three-level games in O(Δ) rounds\n")
-    rows = []
     deltas = [2, 4, 6, 8, 12]
-    fast_means, generic_means = [], []
+    results = sweep(
+        "E3",
+        library.three_level_vs_generic,
+        parameter_grid(delta=deltas),
+        opts,
+    )
+    rows = []
+    fast_means = []
     for delta in deltas:
-        fast_rounds, generic_rounds = [], []
-        for seed in SEEDS:
-            instance = bounded_degree_token_dropping(num_levels=3, degree=delta, seed=seed)
-            fast = run_three_level_algorithm(instance)
-            generic = run_proposal_algorithm(instance)
-            fast.validate(instance).raise_if_invalid()
-            fast_rounds.append(fast.game_rounds)
-            generic_rounds.append(generic.game_rounds)
-        fast_means.append(mean(fast_rounds))
-        generic_means.append(mean(generic_rounds))
-        rows.append([delta, f"{mean(fast_rounds):.1f}", f"{mean(generic_rounds):.1f}"])
+        point = results.filter(delta=delta)
+        fast = mean(point.values_of("three_level_rounds"))
+        generic = mean(point.values_of("generic_rounds"))
+        fast_means.append(fast)
+        rows.append([delta, f"{fast:.1f}", f"{generic:.1f}"])
     fit_fast = fit_power_law([float(d) for d in deltas], fast_means)
     out(markdown_table(["Δ (cap)", "three-level rounds", "generic proposal rounds"], rows))
     out(f"\nThree-level algorithm fitted exponent {fit_fast.exponent:.2f} (theorem: ≤ 1).\n")
 
 
-def experiment_e4_e9() -> None:
+def experiment_e4_e9(opts: EngineOptions) -> None:
     out("## E4 / E9 — Theorem 5.1: stable orientation in O(Δ⁴), vs. baselines\n")
-    rows = []
     deltas = [3, 4, 6, 8, 10]
+    results = sweep(
+        "E4-E9",
+        library.orientation_vs_baselines,
+        parameter_grid(delta=deltas),
+        opts,
+    )
+    rows = []
     phase_means = []
     for delta in deltas:
-        phase_rounds, phases, repair_rounds, flips, ratios = [], [], [], [], []
-        for seed in SEEDS:
-            problem = regular_orientation(degree=delta, num_nodes=12 * delta, seed=seed)
-            result = run_stable_orientation(problem)
-            _, repair = synchronous_repair_orientation(problem, seed=seed)
-            _, seq = sequential_flip_algorithm(problem, policy="random", seed=seed)
-            phase_rounds.append(result.game_rounds)
-            phases.append(result.phases)
-            repair_rounds.append(repair.communication_rounds)
-            flips.append(seq.flips)
-            ratios.append(result.game_rounds / theoretical_round_bound(problem))
-        phase_means.append(mean(phase_rounds))
+        point = results.filter(delta=delta)
+        rounds = mean(point.values_of("game_rounds"))
+        phase_means.append(rounds)
         rows.append(
-            [delta, f"{mean(phases):.1f}", f"{mean(phase_rounds):.1f}",
-             f"{mean(ratios):.5f}", f"{mean(repair_rounds):.1f}", f"{mean(flips):.1f}"]
+            [delta,
+             f"{mean(point.values_of('phases')):.1f}",
+             f"{rounds:.1f}",
+             f"{mean(point.values_of('bound_ratio')):.5f}",
+             f"{mean(point.values_of('repair_rounds')):.1f}",
+             f"{mean(point.values_of('sequential_flips')):.1f}"]
         )
     fit = fit_power_law([float(d) for d in deltas], phase_means)
     out(markdown_table(
@@ -191,28 +219,25 @@ def experiment_e4_e9() -> None:
         "column certifies, not about typical random instances.\n")
 
 
-def experiment_e5() -> None:
+def experiment_e5(opts: EngineOptions) -> None:
     out("## E5 — Theorem 6.3 / Lemmas 6.1–6.2: the lower-bound instance pair\n")
+    deltas = [3, 4, 5]
+    results = sweep(
+        "E5",
+        library.lower_bound_pair,
+        [{"delta": d} for d in deltas],
+        opts,
+        seeds=(0,),
+    )
     rows = []
-    for delta in (3, 4, 5):
-        regular, tree, root = theorem63_instance_pair(delta, seed=delta)
-        assert is_regular(regular, delta)
-        depth = check_perfect_dary_tree(tree, delta, root)
-        girth = graph_girth(regular, cap=10)
-        reg_orientation = run_stable_orientation(OrientationProblem.from_networkx(regular)).orientation
-        tree_orientation = run_stable_orientation(OrientationProblem.from_networkx(tree)).orientation
-        witness = lemma62_witness(reg_orientation, delta)
-        lemma61_ok = lemma61_violations(tree, tree_orientation) == []
-        radius = max(1, (int(girth) - 1) // 2 - 1) if math.isfinite(girth) else 1
-        depths = nx.single_source_shortest_path_length(tree, root)
-        interior = next(n for n, d in depths.items()
-                        if radius <= d <= depth - radius and tree.degree(n) == delta)
-        indist = views_isomorphic(regular, next(iter(regular.nodes())), tree, interior, radius)
+    for result in results:
+        v = result.values
+        girth = v["girth"] if v["girth"] >= 0 else math.inf
         rows.append(
-            [delta, regular.number_of_nodes(), girth, tree.number_of_nodes(),
-             f"{reg_orientation.load(witness)} ≥ {math.ceil(delta / 2)}",
-             "holds" if lemma61_ok else "VIOLATED",
-             f"r={radius}: {'isomorphic' if indist else 'differ'}"]
+            [v["delta"], v["regular_nodes"], girth, v["tree_nodes"],
+             f"{v['witness_load']} ≥ {v['witness_required']}",
+             "holds" if v["lemma61_holds"] else "VIOLATED",
+             f"r={v['view_radius']}: {'isomorphic' if v['views_isomorphic'] else 'differ'}"]
         )
     out(markdown_table(
         ["Δ", "|V| regular", "girth", "|V| tree", "Lemma 6.2 witness load",
@@ -221,23 +246,24 @@ def experiment_e5() -> None:
         "paper's Δ+1 to keep instance sizes laptop-scale; see DESIGN.md).\n")
 
 
-def experiment_e6_e7() -> None:
+def experiment_e6_e7(opts: EngineOptions) -> None:
     out("## E6 / E7 — Theorems 7.3 / 7.5: stable assignment and the 2-bounded relaxation\n")
+    replicas_sweep = [2, 3, 4, 6]
+    results = sweep(
+        "E6-E7",
+        library.assignment_vs_bounded,
+        parameter_grid(replicas=replicas_sweep),
+        opts,
+    )
     rows = []
-    for replicas in (2, 3, 4, 6):
-        general_rounds, bounded_rounds, general_phases, bounded_phases = [], [], [], []
-        for seed in SEEDS:
-            graph = uniform_assignment(num_jobs=120, num_servers=24, replicas=replicas, seed=seed)
-            general = run_stable_assignment(graph, seed=seed)
-            bounded = run_bounded_stable_assignment(graph, k=2, seed=seed)
-            general_rounds.append(general.game_rounds)
-            bounded_rounds.append(bounded.game_rounds)
-            general_phases.append(general.phases)
-            bounded_phases.append(bounded.phases)
+    for replicas in replicas_sweep:
+        point = results.filter(replicas=replicas)
         rows.append(
             [replicas,
-             f"{mean(general_phases):.1f}", f"{mean(general_rounds):.1f}",
-             f"{mean(bounded_phases):.1f}", f"{mean(bounded_rounds):.1f}"]
+             f"{mean(point.values_of('general_phases')):.1f}",
+             f"{mean(point.values_of('general_rounds')):.1f}",
+             f"{mean(point.values_of('bounded_phases')):.1f}",
+             f"{mean(point.values_of('bounded_rounds')):.1f}"]
         )
     out(markdown_table(
         ["C (replicas)", "general phases", "general rounds (Thm 7.3)",
@@ -250,45 +276,107 @@ def experiment_e6_e7() -> None:
         "see EXPERIMENTS.md.\n")
 
 
-def experiment_e8() -> None:
+def experiment_e8(opts: EngineOptions) -> None:
     out("## E8 — §1.3: stable assignment as a semi-matching 2-approximation\n")
+    skews = [0.0, 1.0, 2.0]
+    results = sweep(
+        "E8",
+        library.semi_matching_quality,
+        parameter_grid(skew=skews),
+        opts,
+    )
     rows = []
     worst = 0.0
-    for skew in (0.0, 1.0, 2.0):
-        stable_ratios, greedy_ratios = [], []
-        for seed in SEEDS:
-            if skew == 0.0:
-                graph = uniform_assignment(num_jobs=120, num_servers=24, replicas=3, seed=seed)
-            else:
-                graph = datacenter_assignment(num_jobs=120, num_servers=24, replicas=3,
-                                              popularity_skew=skew, seed=seed)
-            optimum = optimal_cost(graph)
-            stable = run_stable_assignment(graph, seed=seed)
-            stable_ratios.append(approximation_ratio(stable.assignment, optimum))
-            greedy_ratios.append(
-                approximation_ratio(greedy_assignment(graph, order="random", seed=seed), optimum)
-            )
+    for skew in skews:
+        point = results.filter(skew=skew)
+        stable_ratios = point.values_of("stable_ratio")
         worst = max(worst, max(stable_ratios))
         rows.append([skew, f"{mean(stable_ratios):.4f}", f"{max(stable_ratios):.4f}",
-                     f"{mean(greedy_ratios):.4f}"])
+                     f"{mean(point.values_of('greedy_ratio')):.4f}"])
     out(markdown_table(
         ["server skew", "stable/optimal (mean)", "stable/optimal (max)", "greedy/optimal (mean)"],
         rows))
     out(f"\nWorst stable-assignment ratio observed: {worst:.4f} ≤ 2 (the guaranteed factor).\n")
 
 
-def main() -> None:
+EXPERIMENTS = {
+    "E1": experiment_e1,
+    "E3": experiment_e3,
+    "E4": experiment_e4_e9,
+    "E2": experiment_e2,
+    "E5": experiment_e5,
+    "E6": experiment_e6_e7,
+    "E8": experiment_e8,
+}
+
+#: Experiments reported jointly with another id select the same section.
+EXPERIMENT_ALIASES = {"E7": "E6", "E9": "E4"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the measured experiment tables via repro.engine."
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes (1 = serial, 0 = all cores; default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="directory for the on-disk result cache (enables resumability)",
+    )
+    parser.add_argument(
+        "--resume", dest="resume", action="store_true", default=True,
+        help="reuse cached results where available (default)",
+    )
+    parser.add_argument(
+        "--no-resume", dest="resume", action="store_false",
+        help="ignore existing cached results and recompute everything",
+    )
+    parser.add_argument(
+        "--experiment", "-e", action="append",
+        choices=sorted(EXPERIMENTS) + sorted(EXPERIMENT_ALIASES),
+        help="run only the given experiment(s); repeatable (default: all; "
+        "E7/E9 select their joint sections E6/E4)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", default=None,
+        help="override the seed list of the seed-swept experiments "
+        "(e.g. --seeds 0 for a smoke run)",
+    )
+    parser.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress per-task progress lines on stderr",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(list(argv) if argv is not None else None)
+    opts = EngineOptions(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+        quiet=args.quiet,
+        seeds=tuple(args.seeds) if args.seeds else None,
+    )
+    if opts.cache_dir and not opts.resume:
+        # A full recompute starts from an empty store; otherwise every
+        # --no-resume run appends another copy of each record.
+        ResultCache(opts.cache_dir).clear()
+    selected = {
+        EXPERIMENT_ALIASES.get(name, name)
+        for name in (args.experiment or EXPERIMENTS)
+    }
     out("# Measured experiment tables\n")
     out("Regenerate with `python scripts/run_experiments.py`.  Sweeps use seeds "
-        f"{list(SEEDS)}; see EXPERIMENTS.md for the paper-vs-measured discussion.\n")
-    experiment_e1()
-    experiment_e3()
-    experiment_e4_e9()
-    experiment_e2()
-    experiment_e5()
-    experiment_e6_e7()
-    experiment_e8()
+        f"{list(opts.seeds or SEEDS)}; see EXPERIMENTS.md for the paper-vs-measured "
+        "discussion.\n")
+    for name in EXPERIMENTS:
+        if name in selected:
+            EXPERIMENTS[name](opts)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

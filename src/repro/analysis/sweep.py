@@ -1,18 +1,39 @@
-"""Parameter sweep harness used by benchmarks and EXPERIMENTS.md generation.
+"""Parameter sweep records and the thin adapter onto ``repro.engine``.
 
 A sweep runs a measurement function over a grid of parameter dictionaries,
 repeating each point with several seeds, and collects flat records that
 the reporting module turns into tables.  Everything is deliberately plain
 (lists of dicts) so pytest-benchmark, the examples, and the EXPERIMENTS.md
 generator can all share the same code path.
+
+Execution is delegated to the experiment engine
+(:mod:`repro.engine`): :func:`run_sweep` builds an
+:class:`~repro.engine.spec.ExperimentSpec` and converts the engine's
+result set back into a :class:`SweepResult`.  That means every sweep —
+including ones written before the engine existed — can opt into process
+parallelism (``jobs``) and on-disk caching/resume (``cache_dir``,
+``resume``) without changing its measure function, as long as the measure
+is an importable top-level function when ``jobs > 1``.
 """
 
 from __future__ import annotations
 
-import itertools
-import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.engine import (
+    ExperimentSpec,
+    open_cache,
+    parameter_grid,
+    run_experiment,
+)
+
+__all__ = [
+    "SweepRecord",
+    "SweepResult",
+    "parameter_grid",
+    "run_sweep",
+]
 
 
 @dataclass
@@ -67,17 +88,6 @@ class SweepResult:
         return len(self.records)
 
 
-def parameter_grid(**axes: Iterable[Any]) -> List[Dict[str, Any]]:
-    """Cartesian product of named parameter axes as a list of dicts.
-
-    >>> parameter_grid(delta=[2, 3], levels=[4])
-    [{'delta': 2, 'levels': 4}, {'delta': 3, 'levels': 4}]
-    """
-    names = sorted(axes)
-    combos = itertools.product(*(list(axes[name]) for name in names))
-    return [dict(zip(names, combo)) for combo in combos]
-
-
 def run_sweep(
     name: str,
     measure: Callable[..., Mapping[str, float]],
@@ -85,24 +95,34 @@ def run_sweep(
     *,
     seeds: Sequence[int] = (0, 1, 2),
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    resume: bool = True,
 ) -> SweepResult:
     """Run ``measure(seed=..., **params)`` for every grid point and seed.
 
     ``measure`` must return a mapping of metric name to number.  Failures
     are not swallowed: a crashing measurement aborts the sweep, because a
     silently dropped point would bias the reported scaling.
+
+    ``jobs`` shards the sweep across worker processes (``measure`` must
+    then be importable by name); ``cache_dir`` persists per-task results
+    so a re-run with ``resume=True`` executes only missing tasks.
     """
-    result = SweepResult(name=name)
-    for params in grid:
-        for seed in seeds:
-            start = time.perf_counter()
-            values = dict(measure(seed=seed, **params))
-            elapsed = time.perf_counter() - start
-            result.append(
-                SweepRecord(
-                    params=dict(params), seed=seed, values=values, elapsed_seconds=elapsed
-                )
-            )
-            if progress is not None:
-                progress(f"{name}: {params} seed={seed} -> {values}")
-    return result
+    spec = ExperimentSpec(name=name, measure=measure, grid=list(grid), seeds=tuple(seeds))
+
+    engine_progress = None
+    if progress is not None:
+
+        def engine_progress(result):  # noqa: ANN001 - TaskResult
+            origin = " [cache]" if result.cached else ""
+            progress(f"{name}: {result.params} seed={result.seed} -> {result.values}{origin}")
+
+    result_set = run_experiment(
+        spec,
+        jobs=jobs,
+        cache=open_cache(cache_dir),
+        resume=resume,
+        progress=engine_progress,
+    )
+    return result_set.to_sweep_result()

@@ -122,7 +122,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="also compute the exact optimal semi-matching and report the ratio",
     )
 
-    sub.add_parser("experiments", help="regenerate the measured experiment tables (slow)")
+    experiments = sub.add_parser(
+        "experiments",
+        help="regenerate the measured experiment tables via repro.engine (slow)",
+    )
+    experiments.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes for the sweeps (1 = serial, 0 = all cores)",
+    )
+    experiments.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="on-disk result cache directory (makes the run resumable)",
+    )
+    experiments.add_argument(
+        "--resume", dest="resume", action="store_true", default=True,
+        help="reuse cached results where available (default)",
+    )
+    experiments.add_argument(
+        "--no-resume", dest="resume", action="store_false",
+        help="ignore existing cached results and recompute everything",
+    )
+    experiments.add_argument(
+        "--experiment", "-e", action="append", default=None,
+        choices=[f"E{i}" for i in range(1, 10)],
+        help="run only the given experiment id(s), e.g. -e E1 -e E3 (repeatable; "
+        "E7/E9 select their joint sections E6/E4)",
+    )
+    experiments.add_argument(
+        "--seeds", type=int, nargs="+", default=None,
+        help="override every sweep's seed list (e.g. --seeds 0 for a smoke run)",
+    )
+    experiments.add_argument(
+        "--quiet", action="store_true", help="suppress per-task progress lines"
+    )
     return parser
 
 
@@ -249,20 +281,34 @@ def _cmd_assign(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_experiments(_args: argparse.Namespace) -> int:
+def _cmd_experiments(args: argparse.Namespace) -> int:
     # Import lazily: the experiments module pulls in every subsystem.
     import importlib.util
     from pathlib import Path
 
     script = Path(__file__).resolve().parents[2] / "scripts" / "run_experiments.py"
-    if script.exists():
-        spec = importlib.util.spec_from_file_location("run_experiments", script)
-        module = importlib.util.module_from_spec(spec)
-        spec.loader.exec_module(module)  # type: ignore[union-attr]
-        module.main()
-        return 0
-    print("scripts/run_experiments.py not found (installed package without the repository)")
-    return 1
+    if not script.exists():
+        print("scripts/run_experiments.py not found (installed package without the repository)")
+        return 1
+    spec = importlib.util.spec_from_file_location("run_experiments", script)
+    module = importlib.util.module_from_spec(spec)
+    # Register before executing: the module defines dataclasses, whose
+    # decorator looks its module up in sys.modules.
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)  # type: ignore[union-attr]
+
+    argv: List[str] = ["--jobs", str(args.jobs)]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    if not args.resume:
+        argv += ["--no-resume"]
+    for experiment in args.experiment or []:
+        argv += ["--experiment", experiment]
+    if args.seeds:
+        argv += ["--seeds", *[str(s) for s in args.seeds]]
+    if args.quiet:
+        argv += ["--quiet"]
+    return int(module.main(argv))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

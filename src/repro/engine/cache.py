@@ -1,0 +1,75 @@
+"""On-disk result cache keyed by task content hash.
+
+The store is a single append-only JSON-lines file (``results.jsonl``)
+inside the cache directory.  Append-only makes interrupted sweeps safe to
+resume: every completed task is flushed as one line, a crash at worst
+truncates the final line (which :meth:`ResultCache.load` skips), and a
+re-run executes only the tasks whose hashes are not yet present.
+
+The key is :meth:`repro.engine.spec.TaskSpec.task_hash`, i.e. a digest of
+``(measure reference, parameters, seed)`` — changing any of those yields a
+cache miss, while renaming an experiment or reordering its grid does not.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+RESULTS_FILENAME = "results.jsonl"
+
+
+class ResultCache:
+    """JSON-lines store of task results under ``directory``."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / RESULTS_FILENAME
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """All cached records as ``{task_hash: record}`` (last write wins).
+
+        Corrupt lines — typically a partial final line after an interrupt —
+        are skipped rather than failing the whole resume.
+        """
+        records: Dict[str, Dict[str, Any]] = {}
+        if not self.path.exists():
+            return records
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                task_hash = record.get("task_hash")
+                if isinstance(task_hash, str) and "values" in record:
+                    records[task_hash] = record
+        return records
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Persist one completed task, flushed immediately for resumability."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def clear(self) -> None:
+        """Drop the store, e.g. before a ``--no-resume`` full recompute."""
+        if self.path.exists():
+            self.path.unlink()
+
+
+def open_cache(directory: Optional[Union[str, Path]]) -> Optional[ResultCache]:
+    """Convenience: ``None`` stays ``None``, a path becomes a cache."""
+    if directory is None:
+        return None
+    return ResultCache(directory)

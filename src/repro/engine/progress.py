@@ -1,0 +1,82 @@
+"""Progress reporting for engine runs.
+
+The executor calls a plain ``Callable[[TaskResult], None]`` after every
+task, so anything — a logger, a list's ``append`` — can observe progress.
+:class:`ProgressReporter` is the standard implementation: a one-line-per-
+task counter on stderr that distinguishes cache hits from fresh work and
+prints a final summary (how many tasks ran vs. were restored), which is
+how a ``--resume`` run visibly reports "0 executed".
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional, TextIO
+
+from repro.engine.results import TaskResult
+
+ProgressCallback = Callable[[TaskResult], None]
+
+
+class ProgressReporter:
+    """Counts task completions and prints ``[done/total]`` lines."""
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        label: str = "",
+        stream: Optional[TextIO] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self.done = 0
+        self.executed = 0
+        self.cached = 0
+        self._started = time.perf_counter()
+
+    def __call__(self, result: TaskResult) -> None:
+        self.done += 1
+        if result.cached:
+            self.cached += 1
+        else:
+            self.executed += 1
+        if self.enabled:
+            origin = "cache" if result.cached else f"{result.elapsed_seconds:.3f}s"
+            prefix = f"{self.label}: " if self.label else ""
+            self._emit(
+                f"{prefix}[{self.done}/{self.total}] "
+                f"{result.experiment} {self._params(result)} ({origin})"
+            )
+
+    @staticmethod
+    def _params(result: TaskResult) -> str:
+        pairs = " ".join(f"{k}={v}" for k, v in sorted(result.params.items()))
+        return f"{pairs} seed={result.seed}".strip()
+
+    def summary(self) -> str:
+        elapsed = time.perf_counter() - self._started
+        return (
+            f"{self.label or 'sweep'}: {self.done} tasks "
+            f"({self.executed} executed, {self.cached} from cache) "
+            f"in {elapsed:.2f}s"
+        )
+
+    def close(self) -> None:
+        if self.enabled:
+            self._emit(self.summary())
+
+    def _emit(self, message: str) -> None:
+        print(message, file=self.stream)
+        try:
+            self.stream.flush()
+        except (AttributeError, ValueError):
+            pass
+
+
+def silent_progress(_: TaskResult) -> None:
+    """A no-op callback for callers that want no reporting."""

@@ -1,0 +1,214 @@
+"""Declarative experiment specifications with content-addressed tasks.
+
+An :class:`ExperimentSpec` names a *measure function*, a parameter grid,
+and a set of seeds; expanding it yields one :class:`TaskSpec` per
+(parameters, seed) pair.  Each task carries a deterministic content hash
+over ``(measure reference, parameters, seed)`` so that
+
+* the on-disk cache (:mod:`repro.engine.cache`) can recognise already
+  computed tasks across process restarts, and
+* changing any parameter, the seed, or the measure function's identity
+  yields a different hash and therefore a fresh execution.
+
+Measure functions are referenced by their importable dotted path
+(``module:qualname``) rather than by pickled code, which keeps task
+payloads tiny and lets worker processes re-import the function on their
+side of a :class:`~concurrent.futures.ProcessPoolExecutor`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import inspect
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+#: A measure takes ``seed=...`` plus grid parameters as keyword arguments
+#: and returns a JSON-serialisable mapping of metric name -> value.
+MeasureFn = Callable[..., Mapping[str, Any]]
+
+#: Bump when the hash layout changes so stale caches are never reused.
+HASH_VERSION = "repro-task-v1"
+
+
+def measure_reference(measure: Union[MeasureFn, str]) -> str:
+    """The ``module:qualname`` string identifying ``measure``.
+
+    Accepts either a callable or an already-formed reference string.  The
+    reference is used both as the hash identity of the measure and as the
+    import path workers use to re-resolve it.
+    """
+    if isinstance(measure, str):
+        if ":" not in measure:
+            raise ValueError(
+                f"measure reference {measure!r} must look like 'module:qualname'"
+            )
+        return measure
+    module = getattr(measure, "__module__", None)
+    qualname = getattr(measure, "__qualname__", None)
+    if not module or not qualname:
+        raise ValueError(f"cannot build a reference for {measure!r}")
+    return f"{module}:{qualname}"
+
+
+def resolve_measure(reference: str) -> MeasureFn:
+    """Import and return the measure function named by ``reference``.
+
+    Raises :class:`ValueError` when the reference does not point at an
+    importable top-level function (e.g. it names a lambda or a closure) —
+    such measures can only run in-process, never on a worker.
+    """
+    module_name, _, qualname = reference.partition(":")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise ValueError(f"cannot import module of measure {reference!r}: {exc}") from exc
+    obj: Any = module
+    for part in qualname.split("."):
+        if part == "<locals>" or part == "<lambda>":
+            raise ValueError(
+                f"measure {reference!r} is not importable (lambda/closure); "
+                "define it as a top-level function to run with --jobs > 1"
+            )
+        try:
+            obj = getattr(obj, part)
+        except AttributeError as exc:
+            raise ValueError(f"cannot resolve measure {reference!r}: {exc}") from exc
+    if not callable(obj):
+        raise ValueError(f"measure {reference!r} resolved to non-callable {obj!r}")
+    return obj
+
+
+def measure_fingerprint(measure: Union[MeasureFn, str]) -> Optional[str]:
+    """Digest of the measure's *source code*, when retrievable.
+
+    Folded into task hashes so that editing a measure's body (a bug fix,
+    a changed default) invalidates its cached results instead of silently
+    reusing stale numbers.  Returns ``None`` when the source cannot be
+    read (builtins, REPL definitions); those measures fall back to
+    reference-only identity.
+    """
+    fn: Optional[MeasureFn]
+    if callable(measure):
+        fn = measure
+    else:
+        try:
+            fn = resolve_measure(measure)
+        except ValueError:
+            return None
+    try:
+        source = inspect.getsource(fn)
+    except (OSError, TypeError):
+        return None
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON encoding used for hashing (sorted keys, no spaces)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=_json_default)
+
+
+def _json_default(value: Any) -> Any:
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, tuple):
+        return list(value)
+    raise TypeError(f"task parameters must be JSON-serialisable, got {value!r}")
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One unit of work: run ``measure(seed=seed, **params)``.
+
+    ``index`` is the task's position inside its experiment's expansion and
+    fixes result ordering regardless of parallel completion order; it is
+    deliberately *excluded* from the content hash, which depends only on
+    what is computed, not where in the grid it sits.
+    """
+
+    experiment: str
+    measure_ref: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    index: int = 0
+    #: Source-code digest of the measure (see :func:`measure_fingerprint`);
+    #: ``None`` means identity falls back to the reference alone.
+    measure_fingerprint: Optional[str] = None
+
+    def task_hash(self) -> str:
+        """Deterministic content hash of (measure identity, params, seed)."""
+        payload = canonical_json(
+            {
+                "version": HASH_VERSION,
+                "measure": self.measure_ref,
+                "source": self.measure_fingerprint,
+                "params": dict(self.params),
+                "seed": self.seed,
+            }
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        pairs = " ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.experiment}[{pairs} seed={self.seed}]"
+
+
+@dataclass
+class ExperimentSpec:
+    """A named family of tasks: measure x parameter grid x seeds.
+
+    ``measure`` may be a callable (preferred; its reference is derived) or
+    a ``module:qualname`` string.  ``grid`` is a sequence of parameter
+    dictionaries, typically built with :func:`parameter_grid`.
+    """
+
+    name: str
+    measure: Union[MeasureFn, str]
+    grid: Sequence[Mapping[str, Any]] = field(default_factory=lambda: [{}])
+    seeds: Sequence[int] = (0, 1, 2)
+
+    def measure_ref(self) -> str:
+        return measure_reference(self.measure)
+
+    def measure_fn(self) -> MeasureFn:
+        """The in-process callable (works even for lambdas/closures)."""
+        if callable(self.measure):
+            return self.measure
+        return resolve_measure(self.measure)
+
+    def tasks(self) -> List[TaskSpec]:
+        """Expand the spec into its task list, in deterministic grid order."""
+        reference = self.measure_ref()
+        fingerprint = measure_fingerprint(self.measure)
+        specs: List[TaskSpec] = []
+        for index, (params, seed) in enumerate(
+            itertools.product(self.grid, self.seeds)
+        ):
+            specs.append(
+                TaskSpec(
+                    experiment=self.name,
+                    measure_ref=reference,
+                    params=dict(params),
+                    seed=int(seed),
+                    index=index,
+                    measure_fingerprint=fingerprint,
+                )
+            )
+        return specs
+
+    def __len__(self) -> int:
+        return len(self.grid) * len(self.seeds)
+
+
+def parameter_grid(**axes: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Cartesian product of named parameter axes as a list of dicts.
+
+    >>> parameter_grid(delta=[2, 3], levels=[4])
+    [{'delta': 2, 'levels': 4}, {'delta': 3, 'levels': 4}]
+    """
+    names = sorted(axes)
+    combos = itertools.product(*(list(axes[name]) for name in names))
+    return [dict(zip(names, combo)) for combo in combos]

@@ -70,6 +70,74 @@ class TestOrientationScenarios:
             two_cliques_bottleneck(clique_size=1)
 
 
+class TestScenarioDeterminism:
+    """Every builder with a fixed seed yields an identical instance twice.
+
+    The experiment engine's cache keys and its parallel-vs-serial
+    equivalence both rest on this property, so it is pinned per scenario.
+    """
+
+    @staticmethod
+    def _orientation_fingerprint(problem):
+        return sorted(tuple(sorted(edge)) for edge in problem.edges)
+
+    def test_datacenter_assignment(self):
+        a, b = (datacenter_assignment(num_jobs=40, num_servers=8, seed=7) for _ in range(2))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_uniform_assignment(self):
+        a, b = (uniform_assignment(num_jobs=40, num_servers=8, seed=7) for _ in range(2))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_hard_matching_bipartite(self):
+        a, b = (hard_matching_bipartite(side=12, degree=3, seed=5) for _ in range(2))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_sensor_network_orientation(self):
+        a, b = (sensor_network_orientation(num_nodes=50, max_degree=5, seed=9) for _ in range(2))
+        assert self._orientation_fingerprint(a) == self._orientation_fingerprint(b)
+
+    def test_regular_orientation(self):
+        a, b = (regular_orientation(degree=4, num_nodes=20, seed=9) for _ in range(2))
+        assert self._orientation_fingerprint(a) == self._orientation_fingerprint(b)
+
+    def test_caterpillar_and_path_are_parameter_deterministic(self):
+        a, b = (caterpillar_orientation(spine=6, legs=3) for _ in range(2))
+        assert self._orientation_fingerprint(a) == self._orientation_fingerprint(b)
+        p, q = (long_path_orientation(length=15) for _ in range(2))
+        assert self._orientation_fingerprint(p) == self._orientation_fingerprint(q)
+
+    def test_two_cliques_bottleneck(self):
+        (a, u1, v1), (b, u2, v2) = (two_cliques_bottleneck(clique_size=4) for _ in range(2))
+        assert (u1, v1) == (u2, v2)
+        assert self._orientation_fingerprint(a) == self._orientation_fingerprint(b)
+
+    @staticmethod
+    def _game_fingerprint(instance):
+        graph = instance.graph
+        return (
+            sorted(graph.nodes),
+            sorted(graph.edges),
+            sorted(instance.tokens),
+        )
+
+    def test_random_token_dropping(self):
+        a, b = (random_token_dropping(num_levels=5, width=6, seed=3) for _ in range(2))
+        assert self._game_fingerprint(a) == self._game_fingerprint(b)
+
+    def test_bounded_degree_token_dropping(self):
+        a, b = (bounded_degree_token_dropping(num_levels=4, degree=4, seed=3) for _ in range(2))
+        assert self._game_fingerprint(a) == self._game_fingerprint(b)
+
+    def test_figure2_game(self):
+        assert self._game_fingerprint(figure2_game()) == self._game_fingerprint(figure2_game())
+
+    def test_different_seeds_differ(self):
+        a = random_token_dropping(num_levels=5, width=6, seed=0)
+        b = random_token_dropping(num_levels=5, width=6, seed=1)
+        assert self._game_fingerprint(a) != self._game_fingerprint(b)
+
+
 class TestTokenDroppingScenarios:
     def test_random_token_dropping(self):
         instance = random_token_dropping(num_levels=5, width=6, seed=3)
