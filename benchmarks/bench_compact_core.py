@@ -1,0 +1,204 @@
+"""Head-to-head: compact fast-path kernels vs. dict reference paths.
+
+Every dispatched entry point (sequential flips, best-response dynamics,
+greedy semi-matching) is timed on both backends on the same instance —
+the E1 layered-DAG family and the datacenter-assignment family at
+``n >= 10,000`` nodes — and the results are asserted *identical* before
+any timing is trusted.  The compact medians land in
+``BENCH_compact_core.json`` (via the suite-wide conftest hook) together
+with the measured reference-path medians and the speedup, so the
+compact-core perf trajectory is tracked across PRs.
+
+Scale control
+-------------
+``REPRO_BENCH_SMOKE=1`` shrinks every instance to CI-smoke size and skips
+the speedup assertions (timings on tiny instances are dominated by
+constant overheads); the agreement checks always run, so a smoke run
+still fails if the compact path disagrees with the reference path on any
+sampled instance:
+
+    REPRO_BENCH_SMOKE=1 pytest benchmarks/bench_compact_core.py --benchmark-disable
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+
+import pytest
+
+from repro.core.assignment import best_response_dynamics, greedy_assignment
+from repro.core.orientation import sequential_flip_algorithm
+from repro.workloads import datacenter_assignment, layered_dag_orientation
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+#: Minimum median speedup the compact kernels must show at full scale.
+REQUIRED_SPEEDUP = 2.0
+
+if SMOKE:
+    LAYERED_PARAMS = dict(num_levels=8, width=8, edge_probability=0.3, seed=0)
+    DATACENTER_PARAMS = dict(
+        num_jobs=150, num_servers=30, replicas=3, popularity_skew=1.2, seed=0
+    )
+    REFERENCE_ROUNDS = 1
+else:
+    # 100 x 100 = 10,000 nodes; 8,500 + 1,500 = 10,000 nodes.
+    LAYERED_PARAMS = dict(num_levels=100, width=100, edge_probability=0.003, seed=0)
+    DATACENTER_PARAMS = dict(
+        num_jobs=8500, num_servers=1500, replicas=3, popularity_skew=1.2, seed=0
+    )
+    REFERENCE_ROUNDS = 3
+
+
+def _median_time(fn, rounds: int):
+    """Median wall time of ``fn`` over ``rounds`` runs, plus the last result."""
+    times = []
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times), result
+
+
+def _compact_median(benchmark):
+    """Median seconds pytest-benchmark measured, or None when disabled."""
+    stats = getattr(benchmark, "stats", None)
+    return stats.stats.median if stats is not None else None
+
+
+def _record_head_to_head(record_rows, benchmark, *, scenario, dict_median, extra):
+    compact_median = _compact_median(benchmark)
+    row = dict(scenario=scenario, dict_median_seconds=dict_median, **extra)
+    if compact_median:
+        row["speedup"] = dict_median / compact_median
+    record_rows(**row)
+    if compact_median and not SMOKE:
+        assert row["speedup"] >= REQUIRED_SPEEDUP, (
+            f"{scenario}: compact kernel is only {row['speedup']:.2f}x faster "
+            f"(median {compact_median:.4f}s vs dict {dict_median:.4f}s)"
+        )
+
+
+@pytest.mark.experiment("compact-core")
+def test_sequential_flips_on_layered_dag(benchmark, record_rows):
+    """E1 layered-DAG orientation: int-array flip kernel vs. dict loop."""
+    reference_problem = layered_dag_orientation(**LAYERED_PARAMS)
+    compact_problem = layered_dag_orientation(**LAYERED_PARAMS, compact=True)
+
+    fast, fast_stats = benchmark(lambda: sequential_flip_algorithm(compact_problem))
+    dict_median, (ref, ref_stats) = _median_time(
+        lambda: sequential_flip_algorithm(reference_problem, backend="dict"),
+        REFERENCE_ROUNDS,
+    )
+
+    assert ref.oriented_edges() == fast.oriented_edges()
+    assert ref.loads() == fast.loads()
+    assert ref_stats == fast_stats
+    assert fast.is_stable()
+    _record_head_to_head(
+        record_rows,
+        benchmark,
+        scenario="layered_dag_sequential_flips",
+        dict_median=dict_median,
+        extra=dict(
+            nodes=len(compact_problem.node_ids),
+            edges=compact_problem.num_edges,
+            flips=fast_stats.flips,
+        ),
+    )
+
+
+@pytest.mark.experiment("compact-core")
+def test_best_response_on_datacenter(benchmark, record_rows):
+    """Datacenter assignment: int-array best-response kernel vs. dict loop."""
+    reference_graph = datacenter_assignment(**DATACENTER_PARAMS)
+    compact_graph = datacenter_assignment(**DATACENTER_PARAMS, compact=True)
+
+    fast, fast_stats = benchmark(lambda: best_response_dynamics(compact_graph))
+    dict_median, (ref, ref_stats) = _median_time(
+        lambda: best_response_dynamics(reference_graph, backend="dict"),
+        REFERENCE_ROUNDS,
+    )
+
+    assert ref.choices() == fast.choices()
+    assert ref.loads() == fast.loads()
+    assert ref_stats == fast_stats
+    assert fast.is_stable()
+    _record_head_to_head(
+        record_rows,
+        benchmark,
+        scenario="datacenter_best_response",
+        dict_median=dict_median,
+        extra=dict(
+            jobs=compact_graph.num_customers,
+            servers=compact_graph.num_servers,
+            moves=fast_stats.moves,
+        ),
+    )
+
+
+@pytest.mark.experiment("compact-core")
+def test_greedy_semi_matching_on_datacenter(benchmark, record_rows):
+    """Greedy semi-matching: single-pass kernel on a pre-interned instance.
+
+    Greedy is a single pass, so the fast path only pays off when the
+    instance is already compact (which is exactly how `auto` dispatches
+    it); no >= 2x floor is asserted here — the row tracks the ratio.
+    """
+    reference_graph = datacenter_assignment(**DATACENTER_PARAMS)
+    compact_graph = datacenter_assignment(**DATACENTER_PARAMS, compact=True)
+
+    fast = benchmark(lambda: greedy_assignment(compact_graph))
+    dict_median, ref = _median_time(
+        lambda: greedy_assignment(reference_graph, backend="dict"),
+        REFERENCE_ROUNDS,
+    )
+
+    assert ref.choices() == fast.choices()
+    assert ref.semi_matching_cost() == fast.semi_matching_cost()
+    compact_median = _compact_median(benchmark)
+    record_rows(
+        scenario="datacenter_greedy_semi_matching",
+        dict_median_seconds=dict_median,
+        cost=fast.semi_matching_cost(),
+        **(
+            {"speedup": dict_median / compact_median}
+            if compact_median
+            else {}
+        ),
+    )
+
+
+@pytest.mark.parametrize("seed", range(6 if SMOKE else 3))
+def test_backends_agree_on_sampled_instances(seed):
+    """Per-seed agreement sampling (runs in smoke mode / plain pytest)."""
+    problem = layered_dag_orientation(
+        num_levels=5, width=6, edge_probability=0.4, seed=seed
+    )
+    for policy in ("first", "random", "max_badness"):
+        ref, ref_stats = sequential_flip_algorithm(
+            problem, policy=policy, seed=seed, backend="dict"
+        )
+        fast, fast_stats = sequential_flip_algorithm(
+            problem, policy=policy, seed=seed, backend="compact"
+        )
+        assert ref.oriented_edges() == fast.oriented_edges(), (seed, policy)
+        assert ref_stats == fast_stats, (seed, policy)
+
+    graph = datacenter_assignment(num_jobs=60, num_servers=12, replicas=3, seed=seed)
+    for policy in ("first", "random"):
+        ref, ref_stats = best_response_dynamics(
+            graph, policy=policy, seed=seed, backend="dict"
+        )
+        fast, fast_stats = best_response_dynamics(
+            graph, policy=policy, seed=seed, backend="compact"
+        )
+        assert ref.choices() == fast.choices(), (seed, policy)
+        assert ref_stats == fast_stats, (seed, policy)
+    for order in ("sorted", "random"):
+        ref = greedy_assignment(graph, order=order, seed=seed, backend="dict")
+        fast = greedy_assignment(graph, order=order, seed=seed, backend="compact")
+        assert ref.choices() == fast.choices(), (seed, order)

@@ -10,17 +10,75 @@ Run with:
     pytest benchmarks/ --benchmark-only
 
 Add ``--benchmark-json=bench.json`` to capture the extra info.
+
+Perf trajectory files
+---------------------
+At the end of a timed session, every ``bench_<name>.py`` module that ran
+gets a machine-readable ``BENCH_<name>.json`` at the repo root mapping
+each benchmark (scenario) to its median wall time in seconds, plus any
+``extra_info`` rows.  These files are committed, so the per-PR perf
+trajectory of every suite is visible in history; regenerate them with the
+command above.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
+
+#: Repo root — conftest lives in <root>/benchmarks/.
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def pytest_configure(config):  # noqa: D103 - pytest hook
     config.addinivalue_line(
         "markers", "experiment(id): link a benchmark to a DESIGN.md experiment id"
     )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one ``BENCH_<name>.json`` per benchmarked ``bench_<name>.py``."""
+    benchmark_session = getattr(session.config, "_benchmarksession", None)
+    if benchmark_session is None:
+        return
+    by_module = {}
+    for bench in benchmark_session.benchmarks:
+        if bench.has_error:
+            continue
+        stats = getattr(bench, "stats", None)
+        if stats is None:  # collected but never timed (--benchmark-disable)
+            continue
+        module_path = bench.fullname.split("::", 1)[0]
+        module = Path(module_path).stem
+        if not module.startswith("bench_"):
+            continue
+        row = {
+            "median_seconds": stats.median,
+            "rounds": stats.rounds,
+        }
+        if bench.extra_info:
+            row["extra_info"] = dict(bench.extra_info)
+        by_module.setdefault(module[len("bench_") :], {})[bench.name] = row
+    for name, scenarios in by_module.items():
+        target = REPO_ROOT / f"BENCH_{name}.json"
+        # Merge into any existing file so a filtered run (-k, single test)
+        # refreshes only the scenarios it actually timed instead of
+        # silently dropping the rest of the tracked suite.
+        merged = {}
+        if target.exists():
+            try:
+                merged = json.loads(target.read_text()).get("scenarios", {})
+            except (ValueError, OSError):
+                merged = {}
+        merged.update(scenarios)
+        payload = {
+            "suite": f"bench_{name}.py",
+            "unit": "seconds (median wall time per scenario)",
+            "scenarios": dict(sorted(merged.items())),
+        }
+        target.write_text(json.dumps(payload, indent=2, default=str) + "\n")
 
 
 @pytest.fixture

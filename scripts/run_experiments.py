@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Regenerate the measured tables of EXPERIMENTS.md through ``repro.engine``.
 
-Runs one moderate-size sweep per experiment (E1-E9 in DESIGN.md) and prints
-a Markdown report to stdout:
+Runs one moderate-size sweep per experiment (E1-E9 in DESIGN.md, plus the
+E10 fast-path sweep) and prints a Markdown report to stdout:
 
     python scripts/run_experiments.py > EXPERIMENTS_measured.md
 
@@ -299,6 +299,35 @@ def experiment_e8(opts: EngineOptions) -> None:
     out(f"\nWorst stable-assignment ratio observed: {worst:.4f} ≤ 2 (the guaranteed factor).\n")
 
 
+def experiment_e10(opts: EngineOptions) -> None:
+    out("## E10 — best-response dynamics on compact workloads (fast-path kernels)\n")
+    skews = [0.0, 1.0, 2.0]
+    results = sweep(
+        "E10",
+        library.best_response_quality,
+        parameter_grid(skew=skews),
+        opts,
+    )
+    rows = []
+    for skew in skews:
+        point = results.filter(skew=skew)
+        rows.append(
+            [skew,
+             f"{mean(point.values_of('moves')):.1f}",
+             f"{mean(point.values_of('greedy_overhead')):.4f}",
+             f"{mean(point.values_of('max_load')):.1f}",
+             f"{mean(point.values_of('greedy_max_load')):.1f}",
+             "yes" if all(point.values_of("stable")) else "NO"]
+        )
+    out(markdown_table(
+        ["server skew", "moves to stability", "greedy cost / stable cost",
+         "stable max load", "greedy max load", "stable?"], rows))
+    out("\nBest-response dynamics converge after few moves even at thousands of jobs "
+        "(the compact CSR kernels keep the sweep cheap) and strictly improve on greedy "
+        "under skew — the production-path counterpart of the paper's distributed "
+        "constructions.\n")
+
+
 EXPERIMENTS = {
     "E1": experiment_e1,
     "E3": experiment_e3,
@@ -307,6 +336,7 @@ EXPERIMENTS = {
     "E5": experiment_e5,
     "E6": experiment_e6_e7,
     "E8": experiment_e8,
+    "E10": experiment_e10,
 }
 
 #: Experiments reported jointly with another id select the same section.

@@ -144,8 +144,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument(
         "--experiment", "-e", action="append", default=None,
-        choices=[f"E{i}" for i in range(1, 10)],
-        help="run only the given experiment id(s), e.g. -e E1 -e E3 (repeatable; "
+        # Kept in sync with EXPERIMENTS/EXPERIMENT_ALIASES in
+        # scripts/run_experiments.py, which re-validates the selection (the
+        # script is loaded lazily at command time, so its registry is not
+        # importable here at parser-build time).
+        choices=[f"E{i}" for i in range(1, 11)],
+        help="run only the given experiment id(s), e.g. -e E1 -e E10 (repeatable; "
         "E7/E9 select their joint sections E6/E4)",
     )
     experiments.add_argument(

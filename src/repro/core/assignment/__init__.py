@@ -16,6 +16,10 @@ The paper's algorithms
 Semi-matching quality (experiment E8)
     :func:`optimal_semi_matching`, :func:`approximation_ratio`,
     :func:`greedy_assignment`, :func:`semi_matching_cost`.
+
+Scalable baseline
+    :func:`best_response_dynamics` -- centralized unhappy-customer moves
+    with a compact int-array fast path (see :mod:`repro.dispatch`).
 """
 
 from repro.core.assignment.algorithm import (
@@ -25,6 +29,11 @@ from repro.core.assignment.algorithm import (
     run_stable_assignment,
     theoretical_phase_bound,
     theoretical_round_bound,
+)
+from repro.core.assignment.best_response import (
+    BEST_RESPONSE_POLICIES,
+    BestResponseStats,
+    best_response_dynamics,
 )
 from repro.core.assignment.bounded import (
     is_bounded_stable,
@@ -56,6 +65,9 @@ from repro.core.assignment.semi_matching import (
 __all__ = [
     "Assignment",
     "AssignmentError",
+    "BEST_RESPONSE_POLICIES",
+    "BestResponseStats",
+    "best_response_dynamics",
     "AssignmentPhaseStats",
     "AssignmentProblemSummary",
     "PHASE_OVERHEAD_ROUNDS",

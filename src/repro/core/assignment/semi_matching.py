@@ -23,12 +23,14 @@ This module provides
 from __future__ import annotations
 
 import random
-from typing import Dict, Hashable, Iterable, Mapping, Optional
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Union
 
 import networkx as nx
 
 from repro.core.assignment.problem import Assignment
+from repro.dispatch import resolve_backend
 from repro.graphs.bipartite import CustomerServerGraph
+from repro.graphs.compact import CompactBipartite
 
 NodeId = Hashable
 
@@ -51,10 +53,11 @@ def assignment_cost(assignment: Assignment) -> int:
 
 
 def greedy_assignment(
-    graph: CustomerServerGraph,
+    graph: Union[CustomerServerGraph, CompactBipartite],
     *,
     order: str = "sorted",
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> Assignment:
     """Assign each customer, one at a time, to a currently least-loaded server.
 
@@ -62,17 +65,52 @@ def greedy_assignment(
     (deterministic) or ``"random"`` (seeded).  This is the natural
     centralized heuristic; it is *not* guaranteed to be stable, which the
     benchmarks use to show what stability buys.
+
+    ``backend`` selects the compact fast path or the dict reference path
+    (identical results; see :mod:`repro.dispatch`).
     """
+    if order not in ("sorted", "random"):
+        raise ValueError(f"unknown order {order!r}; expected 'sorted' or 'random'")
+    # Greedy is a single pass, so interning a dict graph first would cost
+    # more than the pass saves; `auto` takes the fast path only when the
+    # instance is already compact.
+    auto = "compact" if isinstance(graph, CompactBipartite) else "dict"
+    if resolve_backend(backend, auto=auto) == "compact":
+        return _greedy_assignment_compact(graph, order=order, seed=seed)
+    if isinstance(graph, CompactBipartite):
+        graph = graph.to_customer_server_graph()
     customers = list(graph.customers)
     if order == "random":
         random.Random(seed).shuffle(customers)
-    elif order != "sorted":
-        raise ValueError(f"unknown order {order!r}; expected 'sorted' or 'random'")
     assignment = Assignment(graph)
     for customer in customers:
         servers = sorted(graph.servers_of(customer), key=repr)
         target = min(servers, key=lambda s: (assignment.load(s), repr(s)))
         assignment.assign(customer, target)
+    return assignment
+
+
+def _greedy_assignment_compact(
+    graph: Union[CustomerServerGraph, CompactBipartite], *, order: str, seed: int
+) -> Assignment:
+    """Fast path: run the int-array greedy kernel and wrap the result."""
+    from repro.core.assignment._kernels import greedy_kernel
+
+    if isinstance(graph, CompactBipartite):
+        compact = graph
+        ref_graph = compact.to_customer_server_graph()
+    else:
+        compact = CompactBipartite.from_customer_server_graph(graph)
+        ref_graph = graph
+    choice, load = greedy_kernel(compact, order=order, seed=seed)
+    assignment = Assignment(ref_graph)
+    assignment._choice = {
+        compact.customer_ids[c]: compact.server_ids[choice[c]]
+        for c in range(compact.num_customers)
+    }
+    assignment._load = {
+        compact.server_ids[s]: load[s] for s in range(compact.num_servers)
+    }
     return assignment
 
 

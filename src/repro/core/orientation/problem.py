@@ -31,13 +31,27 @@ class OrientationError(ValueError):
 
 
 def edge_key(u: NodeId, v: NodeId) -> EdgeKey:
-    """Canonical key of the undirected edge {u, v}."""
+    """Canonical key of the undirected edge {u, v}.
+
+    Naturally comparable endpoints are ordered directly.  Mixed-type ids
+    (where ``<=`` raises TypeError) fall back to a ``(type name, repr)``
+    tie-break: unlike a bare ``repr`` comparison, two distinct nodes of
+    different types with identical reprs still get a total order, so
+    ``edge_key(u, v) == edge_key(v, u)`` holds for every edge.  Distinct
+    nodes that are also type- and ``repr``-identical order by
+    ``(hash, id)`` as a last resort (consistent within a process, which
+    is all a canonical key needs).
+    """
     if u == v:
         raise OrientationError(f"self-loop on {u!r} is not allowed")
     try:
         return (u, v) if u <= v else (v, u)
     except TypeError:
-        return (u, v) if repr(u) <= repr(v) else (v, u)
+        ku = (type(u).__name__, repr(u))
+        kv = (type(v).__name__, repr(v))
+        if ku == kv:
+            return (u, v) if (hash(u), id(u)) <= (hash(v), id(v)) else (v, u)
+        return (u, v) if ku < kv else (v, u)
 
 
 @dataclass(frozen=True)

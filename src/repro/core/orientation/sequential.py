@@ -20,13 +20,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Hashable, List, Optional, Tuple
+from typing import Hashable, List, Optional, Tuple, Union
 
 from repro.core.orientation.problem import (
     Orientation,
     OrientationProblem,
     arbitrary_complete_orientation,
 )
+from repro.dispatch import resolve_backend
+from repro.graphs.compact import CompactGraph
 
 NodeId = Hashable
 
@@ -57,20 +59,23 @@ class SequentialRunStats:
 
 
 def sequential_flip_algorithm(
-    problem: OrientationProblem,
+    problem: Union[OrientationProblem, CompactGraph],
     *,
     initial: Optional[Orientation] = None,
     policy: str = "first",
     seed: int = 0,
     record_trace: bool = False,
     max_flips: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[Orientation, SequentialRunStats]:
     """Run the centralized flip algorithm until the orientation is stable.
 
     Parameters
     ----------
     problem:
-        The undirected graph to orient.
+        The undirected graph to orient — either the reference
+        :class:`OrientationProblem` or a pre-interned
+        :class:`~repro.graphs.compact.CompactGraph`.
     initial:
         Starting complete orientation; defaults to "every edge points at
         its larger endpoint".
@@ -85,6 +90,10 @@ def sequential_flip_algorithm(
         Safety valve; defaults to ``Σ deg(v)²`` which upper-bounds the
         number of flips (each flip decreases the potential by ≥ 2 and the
         potential is at most ``Σ deg(v)² ``).
+    backend:
+        ``"compact"`` / ``"dict"`` / ``"auto"`` (default; see
+        :mod:`repro.dispatch`).  Both backends produce identical results;
+        the compact fast path runs the flip loop on flat int arrays.
 
     Returns
     -------
@@ -93,6 +102,17 @@ def sequential_flip_algorithm(
     """
     if policy not in FLIP_POLICIES:
         raise ValueError(f"unknown policy {policy!r}; expected one of {FLIP_POLICIES}")
+    if resolve_backend(backend) == "compact":
+        return _sequential_flip_compact(
+            problem,
+            initial=initial,
+            policy=policy,
+            seed=seed,
+            record_trace=record_trace,
+            max_flips=max_flips,
+        )
+    if isinstance(problem, CompactGraph):
+        problem = problem.to_orientation_problem()
     rng = random.Random(seed)
     orientation = (
         initial.copy() if initial is not None else arbitrary_complete_orientation(problem)
@@ -147,9 +167,86 @@ def sequential_flip_algorithm(
     return orientation, stats
 
 
+def _sequential_flip_compact(
+    problem: Union[OrientationProblem, CompactGraph],
+    *,
+    initial: Optional[Orientation],
+    policy: str,
+    seed: int,
+    record_trace: bool,
+    max_flips: Optional[int],
+) -> Tuple[Orientation, SequentialRunStats]:
+    """Fast path: intern once, run the int-array kernel, wrap the result."""
+    from repro.core.orientation._kernels import sequential_flip_kernel
+
+    if initial is not None:
+        if not initial.is_complete():
+            raise ValueError(
+                "the sequential flip algorithm needs a complete initial orientation"
+            )
+        compact = CompactGraph.from_orientation_problem(initial.problem)
+        ref_problem = initial.problem
+        initial_heads = [
+            compact.index_of[initial.head_of(u, v)] for u, v in compact.edge_keys()
+        ]
+    elif isinstance(problem, CompactGraph):
+        compact = problem
+        ref_problem = None  # resolved lazily below
+        initial_heads = None
+    else:
+        compact = CompactGraph.from_orientation_problem(problem)
+        ref_problem = problem
+        initial_heads = None
+
+    if max_flips is None:
+        # The reference path sizes the safety valve from the `problem`
+        # argument, so mirror that even when `initial` brings its own graph.
+        if isinstance(problem, CompactGraph):
+            ptr = problem.indptr
+            max_flips = (
+                sum((ptr[i + 1] - ptr[i]) ** 2 for i in range(problem.num_nodes)) + 1
+            )
+        else:
+            max_flips = sum(problem.degree(n) ** 2 for n in problem.nodes) + 1
+
+    heads, loads, flips, initial_potential, final_potential, trace = (
+        sequential_flip_kernel(
+            compact,
+            policy=policy,
+            seed=seed,
+            record_trace=record_trace,
+            max_flips=max_flips,
+            initial_heads=initial_heads,
+        )
+    )
+
+    if ref_problem is None:
+        ref_problem = compact.to_orientation_problem()
+    ids = compact.node_ids
+    orientation = Orientation(ref_problem)
+    orientation._heads = {
+        key: ids[heads[e]] for e, key in enumerate(compact.edge_keys())
+    }
+    orientation._load = {ids[i]: loads[i] for i in range(len(ids))}
+
+    stats = SequentialRunStats(
+        flips=flips,
+        initial_potential=initial_potential,
+        final_potential=final_potential if flips else initial_potential,
+        potential_trace=trace,
+    )
+    return orientation, stats
+
+
 def flip_chain_length(
-    problem: OrientationProblem, *, policy: str = "first", seed: int = 0
+    problem: Union[OrientationProblem, CompactGraph],
+    *,
+    policy: str = "first",
+    seed: int = 0,
+    backend: Optional[str] = None,
 ) -> int:
     """Convenience wrapper returning only the number of flips performed."""
-    _, stats = sequential_flip_algorithm(problem, policy=policy, seed=seed)
+    _, stats = sequential_flip_algorithm(
+        problem, policy=policy, seed=seed, backend=backend
+    )
     return stats.flips

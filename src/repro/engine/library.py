@@ -1,4 +1,4 @@
-"""Importable measure functions for the paper's experiments (E1–E9).
+"""Importable measure functions for the paper's experiments (E1–E10).
 
 Each function takes ``seed=...`` plus grid parameters, builds its scenario
 from :mod:`repro.workloads.scenarios`, runs an algorithm, and returns a
@@ -10,6 +10,11 @@ task content hashes.
 These are the shared building blocks of ``scripts/run_experiments.py``,
 ``python -m repro experiments``, and the engine-driven benchmarks — one
 definition of "what E1 measures", three consumers.
+
+Measures whose algorithms have compact fast paths (sequential flips,
+best-response dynamics, greedy assignment) run through them automatically
+via :mod:`repro.dispatch`; set ``REPRO_BACKEND=dict`` to sweep the
+reference paths instead when debugging.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ import networkx as nx
 
 from repro.core.assignment import (
     approximation_ratio,
+    best_response_dynamics,
     greedy_assignment,
     maximal_matching_via_bounded_assignment,
     optimal_cost,
@@ -57,6 +63,46 @@ from repro.workloads import (
     regular_orientation,
     uniform_assignment,
 )
+
+
+# ----------------------------------------------------------------------
+# E10 — best-response dynamics at scale (compact fast path)
+# ----------------------------------------------------------------------
+def best_response_quality(
+    *, seed: int, skew: float, jobs: int = 2000, servers: int = 400, replicas: int = 3
+) -> Dict[str, Any]:
+    """E10: best-response dynamics vs. greedy on compact datacenter workloads.
+
+    Builds the instance in compact CSR form and runs both algorithms
+    through the fast-path kernels, so this measure stays cheap at sizes
+    where the dict reference paths would dominate a sweep.
+    """
+    graph = datacenter_assignment(
+        num_jobs=jobs,
+        num_servers=servers,
+        replicas=replicas,
+        popularity_skew=skew,
+        seed=seed,
+        compact=True,
+    )
+    assignment, stats = best_response_dynamics(graph, policy="first")
+    greedy = greedy_assignment(graph, order="sorted")
+    br_cost = assignment.semi_matching_cost()
+    greedy_cost = greedy.semi_matching_cost()
+    return {
+        "skew": skew,
+        "jobs": jobs,
+        "servers": servers,
+        "moves": stats.moves,
+        "initial_potential": stats.initial_potential,
+        "final_potential": stats.final_potential,
+        "stable": assignment.is_stable(),
+        "best_response_cost": br_cost,
+        "greedy_cost": greedy_cost,
+        "greedy_overhead": greedy_cost / br_cost if br_cost else 1.0,
+        "max_load": assignment.max_load(),
+        "greedy_max_load": greedy.max_load(),
+    }
 
 
 # ----------------------------------------------------------------------

@@ -9,6 +9,9 @@ the reproduction operates on:
   by stable assignments and semi-matchings (Sections 1.3 and 7);
 * :mod:`repro.graphs.hypergraph` -- hypergraphs in which customers act as
   hyperedges over servers (Section 7.1);
+* :mod:`repro.graphs.compact` -- CSR-style compact cores with dense
+  integer ids, the substrate of the fast-path algorithm kernels (see
+  :mod:`repro.dispatch`);
 * :mod:`repro.graphs.generators` -- reproducible generators for the
   instance families used in the paper's arguments and our experiments
   (d-regular graphs, perfect d-ary trees, random bipartite workloads,
@@ -19,6 +22,7 @@ the reproduction operates on:
 """
 
 from repro.graphs.bipartite import CustomerServerGraph
+from repro.graphs.compact import CompactBipartite, CompactGraph, intern_nodes
 from repro.graphs.hypergraph import Hypergraph
 from repro.graphs.layered import LayeredGraph
 from repro.graphs.generators import (
@@ -51,8 +55,11 @@ from repro.graphs.validation import (
 )
 
 __all__ = [
+    "CompactBipartite",
+    "CompactGraph",
     "CustomerServerGraph",
     "GraphValidationError",
+    "intern_nodes",
     "Hypergraph",
     "LayeredGraph",
     "bounded_degree_gnp",

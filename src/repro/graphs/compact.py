@@ -1,0 +1,421 @@
+"""Compact indexed graph cores: CSR adjacency over dense integer ids.
+
+Every algorithm in the reproduction was originally written against
+dict-of-Hashable adjacency maps (:class:`~repro.core.orientation.problem.
+OrientationProblem`, :class:`~repro.graphs.bipartite.CustomerServerGraph`).
+Those are the *reference* representations: easy to inspect, easy to prove
+correct, and agnostic about what a node id is.  Their hot loops, however,
+pay hashing, boxing, and ``repr``-based ordering costs on every edge
+visit.
+
+This module re-represents an instance **once**, up front:
+
+* node ids (arbitrary Hashables) are interned into dense integers
+  ``0 .. n-1`` in ``repr``-sorted order — the same deterministic order the
+  reference structures use — so "dense id order" and "reference iteration
+  order" coincide and fast-path kernels can reproduce reference results
+  exactly;
+* adjacency is stored in flat CSR arrays (:mod:`array` of signed 64-bit
+  ints, exposed as :class:`memoryview`\\ s — no numpy dependency);
+* the translation is lossless: :meth:`CompactGraph.to_orientation_problem`
+  and :meth:`CompactBipartite.to_customer_server_graph` rebuild structures
+  that compare equal to the originals.
+
+The int-array algorithm kernels that run on these structures live next to
+their reference implementations (``repro.core.orientation._kernels``,
+``repro.core.assignment._kernels``) and are dispatched automatically from
+the public entry points; see :mod:`repro.dispatch` for the dispatch rule.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+NodeId = Hashable
+
+#: Typecode for all index arrays: signed 64-bit, large enough for any
+#: realistic instance and directly usable as a memoryview format.
+INDEX_TYPECODE = "q"
+
+_ITEMSIZE = array(INDEX_TYPECODE).itemsize
+
+
+def _zeros(n: int) -> array:
+    """A zero-initialised index array of length ``n``."""
+    return array(INDEX_TYPECODE, bytes(_ITEMSIZE * n))
+
+
+def intern_nodes(nodes: Iterable[NodeId]) -> Tuple[Tuple[NodeId, ...], Dict[NodeId, int]]:
+    """Intern arbitrary Hashable node ids into dense integers.
+
+    Returns ``(ids, index_of)`` where ``ids[i]`` is the original id of
+    dense node ``i`` and ``index_of`` inverts the mapping.  The order is
+    ``repr``-sorted, matching the deterministic iteration order of the
+    reference dict structures (``OrientationProblem.nodes``,
+    ``CustomerServerGraph.customers`` / ``.servers``), which is what lets
+    the compact kernels replay reference tie-breaking exactly.
+    """
+    ids = tuple(sorted(set(nodes), key=repr))
+    return ids, {node: i for i, node in enumerate(ids)}
+
+
+def _csr_from_pairs(
+    n: int, pairs: Sequence[Tuple[int, int]], payloads: Sequence[int]
+) -> Tuple[array, array, array]:
+    """Build CSR ``(indptr, indices, slot_payload)`` from (row, col, payload) data.
+
+    Within each row, columns are stored in ascending dense-id order (which
+    is ``repr`` order by construction of the interning).
+    """
+    counts = [0] * (n + 1)
+    for row, _ in pairs:
+        counts[row + 1] += 1
+    indptr = array(INDEX_TYPECODE, counts)
+    for i in range(1, n + 1):
+        indptr[i] += indptr[i - 1]
+    indices = _zeros(len(pairs))
+    slot_payload = _zeros(len(pairs))
+    cursor = list(indptr[:n])
+    order = sorted(range(len(pairs)), key=lambda k: pairs[k])
+    for k in order:
+        row, col = pairs[k]
+        slot = cursor[row]
+        indices[slot] = col
+        slot_payload[slot] = payloads[k]
+        cursor[row] = slot + 1
+    return indptr, indices, slot_payload
+
+
+class CompactGraph:
+    """An immutable undirected simple graph in CSR form.
+
+    Attributes
+    ----------
+    node_ids:
+        Dense id → original Hashable id, ``repr``-sorted.
+    indptr, indices:
+        CSR adjacency: the neighbours of dense node ``i`` are
+        ``indices[indptr[i]:indptr[i+1]]``, ascending.
+    slot_edge:
+        Parallel to ``indices``: the edge index of each adjacency slot.
+    edge_u, edge_v:
+        Per-edge dense endpoints in canonical
+        :func:`~repro.core.orientation.problem.edge_key` order, with edges
+        sorted exactly like ``OrientationProblem.edges`` (by ``repr`` of
+        the canonical key), so edge index ``e`` means the same edge in
+        both representations.
+    """
+
+    __slots__ = (
+        "node_ids",
+        "index_of",
+        "indptr",
+        "indices",
+        "slot_edge",
+        "edge_u",
+        "edge_v",
+        "_problem",
+        "_edge_index",
+    )
+
+    def __init__(
+        self,
+        node_ids: Tuple[NodeId, ...],
+        index_of: Dict[NodeId, int],
+        indptr: array,
+        indices: array,
+        slot_edge: array,
+        edge_u: array,
+        edge_v: array,
+    ) -> None:
+        self.node_ids = node_ids
+        self.index_of = index_of
+        self.indptr = indptr
+        self.indices = indices
+        self.slot_edge = slot_edge
+        self.edge_u = edge_u
+        self.edge_v = edge_v
+        self._problem = None
+        self._edge_index: Optional[Dict[Tuple[NodeId, NodeId], int]] = None
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Tuple[NodeId, NodeId]], nodes: Iterable[NodeId] = ()
+    ) -> "CompactGraph":
+        """Build directly from an undirected edge list (plus isolated nodes).
+
+        Applies the same validation as :class:`OrientationProblem`
+        (self-loops and duplicate edges are rejected) without building any
+        per-node dict-of-frozensets, so scenario builders can emit compact
+        instances without paying for the reference representation first.
+        """
+        from repro.core.orientation.problem import OrientationError, edge_key
+
+        keys: Dict[Tuple[NodeId, NodeId], None] = {}
+        for u, v in edges:
+            key = edge_key(u, v)
+            if key in keys:
+                raise OrientationError(f"duplicate edge {key!r}")
+            keys[key] = None
+        all_nodes: List[NodeId] = list(nodes)
+        for u, v in keys:
+            all_nodes.append(u)
+            all_nodes.append(v)
+        node_ids, index_of = intern_nodes(all_nodes)
+        ordered_keys = sorted(keys, key=repr)
+
+        edge_u = _zeros(len(ordered_keys))
+        edge_v = _zeros(len(ordered_keys))
+        pairs: List[Tuple[int, int]] = []
+        payloads: List[int] = []
+        for e, (u, v) in enumerate(ordered_keys):
+            ui, vi = index_of[u], index_of[v]
+            edge_u[e] = ui
+            edge_v[e] = vi
+            pairs.append((ui, vi))
+            pairs.append((vi, ui))
+            payloads.append(e)
+            payloads.append(e)
+        indptr, indices, slot_edge = _csr_from_pairs(len(node_ids), pairs, payloads)
+        return cls(node_ids, index_of, indptr, indices, slot_edge, edge_u, edge_v)
+
+    @classmethod
+    def from_orientation_problem(cls, problem) -> "CompactGraph":
+        """Intern an :class:`OrientationProblem` (lossless; see round-trip tests)."""
+        compact = cls.from_edges(problem.edges, nodes=problem.adjacency.keys())
+        compact._problem = problem
+        return compact
+
+    def to_orientation_problem(self):
+        """The equivalent reference :class:`OrientationProblem` (cached)."""
+        if self._problem is None:
+            from repro.core.orientation.problem import OrientationProblem
+
+            self._problem = OrientationProblem(
+                edges=self.edge_keys(), nodes=self.node_ids
+            )
+        return self._problem
+
+    # -- queries --------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_u)
+
+    def degree(self, i: int) -> int:
+        """Degree of dense node ``i``."""
+        return self.indptr[i + 1] - self.indptr[i]
+
+    def max_degree(self) -> int:
+        ptr = self.indptr
+        return max(
+            (ptr[i + 1] - ptr[i] for i in range(self.num_nodes)), default=0
+        )
+
+    def neighbors(self, i: int) -> memoryview:
+        """Dense neighbour ids of dense node ``i`` as a zero-copy memoryview."""
+        return memoryview(self.indices)[self.indptr[i] : self.indptr[i + 1]]
+
+    def edge_keys(self) -> Tuple[Tuple[NodeId, NodeId], ...]:
+        """Original-id canonical edge keys, in edge-index order."""
+        ids = self.node_ids
+        return tuple(
+            (ids[self.edge_u[e]], ids[self.edge_v[e]]) for e in range(self.num_edges)
+        )
+
+    def edge_index(self, u: NodeId, v: NodeId) -> int:
+        """Edge index of the undirected edge {u, v} (original ids)."""
+        from repro.core.orientation.problem import edge_key
+
+        if self._edge_index is None:
+            self._edge_index = {key: e for e, key in enumerate(self.edge_keys())}
+        return self._edge_index[edge_key(u, v)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompactGraph(nodes={self.num_nodes}, edges={self.num_edges})"
+
+
+class CompactBipartite:
+    """An immutable customer--server bipartite graph in CSR form.
+
+    Customers and servers are interned separately (each side
+    ``repr``-sorted), with both adjacency directions stored:
+    ``cust_indptr``/``cust_indices`` map a dense customer id to its dense
+    server ids (ascending, i.e. in reference ``repr`` order) and
+    ``serv_indptr``/``serv_indices`` the reverse.
+    """
+
+    __slots__ = (
+        "customer_ids",
+        "server_ids",
+        "customer_index",
+        "server_index",
+        "cust_indptr",
+        "cust_indices",
+        "serv_indptr",
+        "serv_indices",
+        "_graph",
+    )
+
+    def __init__(
+        self,
+        customer_ids: Tuple[NodeId, ...],
+        server_ids: Tuple[NodeId, ...],
+        customer_index: Dict[NodeId, int],
+        server_index: Dict[NodeId, int],
+        cust_indptr: array,
+        cust_indices: array,
+        serv_indptr: array,
+        serv_indices: array,
+    ) -> None:
+        self.customer_ids = customer_ids
+        self.server_ids = server_ids
+        self.customer_index = customer_index
+        self.server_index = server_index
+        self.cust_indptr = cust_indptr
+        self.cust_indices = cust_indices
+        self.serv_indptr = serv_indptr
+        self.serv_indices = serv_indices
+        self._graph = None
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        customers: Iterable[NodeId],
+        servers: Iterable[NodeId],
+        edges: Iterable[Tuple[NodeId, NodeId]],
+    ) -> "CompactBipartite":
+        """Build directly from ``(customer, server)`` edges.
+
+        Mirrors :class:`CustomerServerGraph` validation: overlapping ids,
+        unknown endpoints, duplicate edges, and isolated customers are all
+        rejected, so the two constructors accept exactly the same inputs.
+        """
+        from repro.graphs.bipartite import BipartiteGraphError
+
+        customer_ids, customer_index = intern_nodes(customers)
+        server_ids, server_index = intern_nodes(servers)
+        overlap = set(customer_ids) & set(server_ids)
+        if overlap:
+            raise BipartiteGraphError(
+                f"identifiers used on both sides: {sorted(map(repr, overlap))}"
+            )
+
+        seen = set()
+        pairs: List[Tuple[int, int]] = []
+        for edge in edges:
+            if len(edge) != 2:
+                raise BipartiteGraphError(
+                    f"edge {edge!r} is not a (customer, server) pair"
+                )
+            customer, server = edge
+            ci = customer_index.get(customer)
+            if ci is None:
+                raise BipartiteGraphError(
+                    f"unknown customer {customer!r} in edge {edge!r}"
+                )
+            si = server_index.get(server)
+            if si is None:
+                raise BipartiteGraphError(f"unknown server {server!r} in edge {edge!r}")
+            if (ci, si) in seen:
+                raise BipartiteGraphError(f"duplicate edge ({customer!r}, {server!r})")
+            seen.add((ci, si))
+            pairs.append((ci, si))
+
+        degrees = [0] * len(customer_ids)
+        for ci, _ in pairs:
+            degrees[ci] += 1
+        isolated = [customer_ids[ci] for ci, d in enumerate(degrees) if d == 0]
+        if isolated:
+            raise BipartiteGraphError(
+                "every customer needs at least one adjacent server; isolated "
+                f"customer(s): {sorted(map(repr, isolated))}"
+            )
+
+        payloads = list(range(len(pairs)))
+        cust_indptr, cust_indices, _ = _csr_from_pairs(
+            len(customer_ids), pairs, payloads
+        )
+        reverse = [(si, ci) for ci, si in pairs]
+        serv_indptr, serv_indices, _ = _csr_from_pairs(
+            len(server_ids), reverse, payloads
+        )
+        return cls(
+            customer_ids,
+            server_ids,
+            customer_index,
+            server_index,
+            cust_indptr,
+            cust_indices,
+            serv_indptr,
+            serv_indices,
+        )
+
+    @classmethod
+    def from_customer_server_graph(cls, graph) -> "CompactBipartite":
+        """Intern a :class:`CustomerServerGraph` (lossless; see round-trip tests)."""
+        compact = cls.from_edges(
+            customers=graph.customer_adjacency.keys(),
+            servers=graph.server_adjacency.keys(),
+            edges=graph.edges(),
+        )
+        compact._graph = graph
+        return compact
+
+    def to_customer_server_graph(self):
+        """The equivalent reference :class:`CustomerServerGraph` (cached)."""
+        if self._graph is None:
+            from repro.graphs.bipartite import CustomerServerGraph
+
+            edges = []
+            for ci in range(self.num_customers):
+                customer = self.customer_ids[ci]
+                for slot in range(self.cust_indptr[ci], self.cust_indptr[ci + 1]):
+                    edges.append((customer, self.server_ids[self.cust_indices[slot]]))
+            self._graph = CustomerServerGraph(
+                customers=self.customer_ids, servers=self.server_ids, edges=edges
+            )
+        return self._graph
+
+    # -- queries --------------------------------------------------------
+    @property
+    def num_customers(self) -> int:
+        return len(self.customer_ids)
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.server_ids)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.cust_indices)
+
+    def customer_degree(self, ci: int) -> int:
+        return self.cust_indptr[ci + 1] - self.cust_indptr[ci]
+
+    def server_degree(self, si: int) -> int:
+        return self.serv_indptr[si + 1] - self.serv_indptr[si]
+
+    def servers_of(self, ci: int) -> memoryview:
+        """Dense server ids adjacent to dense customer ``ci`` (ascending)."""
+        return memoryview(self.cust_indices)[
+            self.cust_indptr[ci] : self.cust_indptr[ci + 1]
+        ]
+
+    def customers_of(self, si: int) -> memoryview:
+        """Dense customer ids adjacent to dense server ``si`` (ascending)."""
+        return memoryview(self.serv_indices)[
+            self.serv_indptr[si] : self.serv_indptr[si + 1]
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompactBipartite(customers={self.num_customers}, "
+            f"servers={self.num_servers}, edges={self.num_edges})"
+        )

@@ -25,6 +25,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 import networkx as nx
 
 from repro.graphs.bipartite import CustomerServerGraph
+from repro.graphs.compact import CompactBipartite
 from repro.graphs.layered import LayeredGraph
 
 NodeId = Hashable
@@ -296,7 +297,8 @@ def random_bipartite_customer_server(
     customer_degree: int,
     seed: Optional[int | random.Random] = None,
     server_skew: float = 0.0,
-) -> CustomerServerGraph:
+    compact: bool = False,
+) -> "CustomerServerGraph | CompactBipartite":
     """A random customer--server workload with fixed customer degree.
 
     Each customer picks ``customer_degree`` distinct servers.  With
@@ -315,6 +317,10 @@ def random_bipartite_customer_server(
         RNG seed or a shared :class:`random.Random`.
     server_skew:
         Zipf exponent for server popularity; 0 means uniform.
+    compact:
+        Emit a :class:`~repro.graphs.compact.CompactBipartite` built
+        straight from the sampled edge list (same instance, CSR form)
+        instead of the reference :class:`CustomerServerGraph`.
     """
     if num_customers < 1 or num_servers < 1:
         raise ValueError("need at least one customer and one server")
@@ -348,6 +354,10 @@ def random_bipartite_customer_server(
             del available[idx]
             del avail_weights[idx]
         edges.extend((customer, server) for server in chosen)
+    if compact:
+        return CompactBipartite.from_edges(
+            customers=customers, servers=servers, edges=edges
+        )
     return CustomerServerGraph(customers=customers, servers=servers, edges=edges)
 
 

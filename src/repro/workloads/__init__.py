@@ -6,6 +6,7 @@ from repro.workloads.scenarios import (
     datacenter_assignment,
     figure2_game,
     hard_matching_bipartite,
+    layered_dag_orientation,
     long_path_orientation,
     random_token_dropping,
     regular_orientation,
@@ -20,6 +21,7 @@ __all__ = [
     "datacenter_assignment",
     "figure2_game",
     "hard_matching_bipartite",
+    "layered_dag_orientation",
     "long_path_orientation",
     "random_token_dropping",
     "regular_orientation",

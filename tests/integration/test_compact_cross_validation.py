@@ -1,0 +1,165 @@
+"""Cross-validation: compact fast-path kernels vs. dict reference paths.
+
+The dispatch contract (:mod:`repro.dispatch`) promises that both backends
+of every dispatched entry point produce *identical* results — same final
+solution, same statistics, same tie-breaking — not merely equally-good
+ones.  This suite enforces that promise on 200+ seeded random instances
+spanning every kernel and every policy:
+
+* sequential flip orientation: 4 instance families x 20 seeds, policies
+  rotated per seed (80 instances);
+* best-response assignment dynamics: 2 families x 35 seeds, both
+  policies exercised (70 instances);
+* greedy semi-matching assignment: 50 instances, both orders.
+
+Seeds are grouped into chunks of 10 per pytest case to keep collection
+overhead low while preserving per-chunk failure granularity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import best_response_dynamics, greedy_assignment
+from repro.core.orientation import (
+    FLIP_POLICIES,
+    OrientationProblem,
+    sequential_flip_algorithm,
+)
+from repro.graphs.generators import bounded_degree_gnp
+from repro.workloads import (
+    datacenter_assignment,
+    layered_dag_orientation,
+    regular_orientation,
+    sensor_network_orientation,
+    uniform_assignment,
+)
+
+pytestmark = pytest.mark.integration
+
+SEED_CHUNKS = [range(start, start + 10) for start in (0, 10)]
+
+
+def _orientation_instance(family: str, seed: int) -> OrientationProblem:
+    if family == "gnp":
+        problem = OrientationProblem.from_networkx(
+            bounded_degree_gnp(26, 0.25, 6, seed=seed)
+        )
+    elif family == "regular":
+        problem = regular_orientation(degree=4, num_nodes=24, seed=seed)
+    elif family == "layered":
+        problem = layered_dag_orientation(
+            num_levels=4, width=6, edge_probability=0.5, seed=seed
+        )
+    else:  # sensor
+        problem = sensor_network_orientation(num_nodes=30, max_degree=6, seed=seed)
+    return problem
+
+
+class TestSequentialFlipsAgree:
+    """80 orientation instances; policy rotates with the seed."""
+
+    @pytest.mark.parametrize("family", ["gnp", "regular", "layered", "sensor"])
+    @pytest.mark.parametrize("seeds", SEED_CHUNKS, ids=["s0-9", "s10-19"])
+    def test_identical_orientations_and_stats(self, family, seeds):
+        for seed in seeds:
+            problem = _orientation_instance(family, seed)
+            policy = FLIP_POLICIES[seed % len(FLIP_POLICIES)]
+            ref, ref_stats = sequential_flip_algorithm(
+                problem, policy=policy, seed=seed, record_trace=True, backend="dict"
+            )
+            fast, fast_stats = sequential_flip_algorithm(
+                problem, policy=policy, seed=seed, record_trace=True, backend="compact"
+            )
+            context = (family, seed, policy)
+            assert ref.oriented_edges() == fast.oriented_edges(), context
+            assert ref.loads() == fast.loads(), context
+            assert ref_stats == fast_stats, context
+            assert fast.is_stable(), context
+
+
+class TestBestResponseAgrees:
+    """70 assignment instances across both policies."""
+
+    @pytest.mark.parametrize(
+        "family,seeds",
+        [
+            ("datacenter", range(0, 10)),
+            ("datacenter", range(10, 20)),
+            ("datacenter", range(20, 35)),
+            ("uniform", range(0, 10)),
+            ("uniform", range(10, 20)),
+            ("uniform", range(20, 35)),
+        ],
+        ids=["dc-s0-9", "dc-s10-19", "dc-s20-34", "uni-s0-9", "uni-s10-19", "uni-s20-34"],
+    )
+    def test_identical_assignments_and_stats(self, family, seeds):
+        for seed in seeds:
+            if family == "datacenter":
+                graph = datacenter_assignment(
+                    num_jobs=55, num_servers=11, replicas=3, seed=seed
+                )
+            else:
+                graph = uniform_assignment(
+                    num_jobs=55, num_servers=11, replicas=3, seed=seed
+                )
+            policy = "first" if seed % 2 == 0 else "random"
+            ref, ref_stats = best_response_dynamics(
+                graph, policy=policy, seed=seed, backend="dict"
+            )
+            fast, fast_stats = best_response_dynamics(
+                graph, policy=policy, seed=seed, backend="compact"
+            )
+            context = (family, seed, policy)
+            assert ref.choices() == fast.choices(), context
+            assert ref.loads() == fast.loads(), context
+            assert ref_stats == fast_stats, context
+            assert fast.is_stable(), context
+
+
+class TestGreedyAgrees:
+    """50 greedy instances across both processing orders."""
+
+    @pytest.mark.parametrize(
+        "seeds", [range(0, 10), range(10, 25)], ids=["s0-9", "s10-24"]
+    )
+    def test_identical_greedy_choices(self, seeds):
+        for seed in seeds:
+            for order in ("sorted", "random"):
+                graph = datacenter_assignment(
+                    num_jobs=45,
+                    num_servers=9,
+                    replicas=3,
+                    popularity_skew=float(seed % 3),
+                    seed=seed,
+                )
+                ref = greedy_assignment(graph, order=order, seed=seed, backend="dict")
+                fast = greedy_assignment(
+                    graph, order=order, seed=seed, backend="compact"
+                )
+                assert ref.choices() == fast.choices(), (seed, order)
+                assert ref.loads() == fast.loads(), (seed, order)
+
+
+class TestCompactInstancesMatchReferenceInstances:
+    """compact=True emission is the same instance, so results transfer."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_orientation_through_compact_instance(self, seed):
+        reference = layered_dag_orientation(num_levels=4, width=5, seed=seed)
+        compact = layered_dag_orientation(num_levels=4, width=5, seed=seed, compact=True)
+        ref, ref_stats = sequential_flip_algorithm(reference, backend="dict")
+        fast, fast_stats = sequential_flip_algorithm(compact)
+        assert ref.oriented_edges() == fast.oriented_edges()
+        assert ref_stats == fast_stats
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_assignment_through_compact_instance(self, seed):
+        reference = uniform_assignment(num_jobs=40, num_servers=8, seed=seed)
+        compact = uniform_assignment(
+            num_jobs=40, num_servers=8, seed=seed, compact=True
+        )
+        ref, ref_stats = best_response_dynamics(reference, backend="dict")
+        fast, fast_stats = best_response_dynamics(compact)
+        assert ref.choices() == fast.choices()
+        assert ref_stats == fast_stats

@@ -57,6 +57,68 @@ class TestProblem:
             edge_key(1, 1)
 
 
+class _ReprA:
+    """A node id whose repr collides with :class:`_ReprB`'s."""
+
+    def __repr__(self) -> str:
+        return "node"
+
+    def __hash__(self) -> int:
+        return 7
+
+
+class _ReprB:
+    def __repr__(self) -> str:
+        return "node"
+
+    def __hash__(self) -> int:
+        return 7
+
+
+class TestEdgeKeyMixedTypes:
+    """The TypeError fallback must impose a *total* deterministic order."""
+
+    def test_mixed_types_are_order_insensitive(self):
+        assert edge_key(1, "a") == edge_key("a", 1)
+        assert edge_key((1, 2), "z") == edge_key("z", (1, 2))
+
+    def test_mixed_types_order_by_type_name_then_repr(self):
+        # 'int' < 'str', so the int endpoint comes first even though
+        # repr("0") would sort before repr(1) under a bare-repr tie-break.
+        assert edge_key(1, "0") == (1, "0")
+        assert edge_key("0", 1) == (1, "0")
+
+    def test_equal_reprs_across_types_do_not_collide(self):
+        a, b = _ReprA(), _ReprB()
+        assert repr(a) == repr(b)
+        # Same key from both argument orders (the old bare-repr fallback
+        # returned a different tuple per order here)...
+        assert edge_key(a, b) == edge_key(b, a)
+        # ...and the two distinct directed readings stay distinguishable.
+        key = edge_key(a, b)
+        assert key[0] is not key[1]
+
+    def test_equal_reprs_give_distinct_keys_per_edge(self):
+        a, b, c = _ReprA(), _ReprB(), _ReprB()
+        keys = {edge_key(a, b), edge_key(a, c)}
+        assert len(keys) == 2
+
+    def test_problem_accepts_repr_colliding_mixed_nodes(self):
+        a, b = _ReprA(), _ReprB()
+        problem = OrientationProblem(edges=[(a, b)])
+        assert problem.num_edges() == 1
+        assert problem.has_edge(a, b) and problem.has_edge(b, a)
+
+    def test_same_type_equal_repr_equal_hash_still_total(self):
+        # The worst case: indistinguishable by type, repr, AND hash.
+        a, b = _ReprB(), _ReprB()
+        assert edge_key(a, b) == edge_key(b, a)
+        problem = OrientationProblem(edges=[(a, b)])
+        orientation = Orientation(problem)
+        orientation.orient(b, a, head=a)  # must resolve to the same edge key
+        assert orientation.head_of(a, b) is a
+
+
 class TestOrientation:
     def test_orient_and_loads(self, triangle: OrientationProblem):
         orientation = Orientation(triangle)

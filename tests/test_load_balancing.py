@@ -11,7 +11,7 @@ from repro.core.load_balancing import (
     locally_optimal_load_balancing,
     orientation_loads_as_initial,
 )
-from repro.core.orientation import OrientationProblem, run_stable_orientation
+from repro.core.orientation import OrientationProblem, edge_key, run_stable_orientation
 from repro.graphs.generators import bounded_degree_gnp, path_graph
 from repro.workloads import two_cliques_bottleneck
 
@@ -93,3 +93,57 @@ class TestSection2Contrast:
         problem, _, _ = two_cliques_bottleneck(clique_size=5)
         initial = orientation_loads_as_initial(problem)
         assert sum(initial.values()) == problem.num_edges()
+
+    def test_bottleneck_contrast_holds_in_both_directions(self):
+        """The Section 2 contrast is symmetric: whichever clique is heavy,
+        the balancer pushes many units across the bridge (at least half a
+        clique's worth here) while an orientation uses it exactly once."""
+        clique_size = 8
+        problem, bridge_u, bridge_v = two_cliques_bottleneck(clique_size=clique_size)
+        left = range(clique_size)
+        right = range(clique_size, 2 * clique_size)
+        for heavy in (left, right):
+            initial = {node: 0 for node in problem.nodes}
+            for node in heavy:
+                initial[node] = 4
+            contrast = bridge_usage_contrast(
+                problem, (bridge_u, bridge_v), initial
+            )
+            assert contrast["load_balancing_bridge_uses"] >= clique_size // 2
+            assert contrast["token_dropping_bridge_uses"] == 1
+            assert contrast["total_moves"] >= contrast["load_balancing_bridge_uses"]
+
+    def test_bridge_is_the_most_used_edge(self):
+        """Per-edge usage counting localises the bottleneck: no intra-clique
+        edge carries more load than the single inter-region bridge."""
+        problem, bridge_u, bridge_v = two_cliques_bottleneck(clique_size=6)
+        initial = {node: 0 for node in problem.nodes}
+        for node in range(6):
+            initial[node] = 5
+        result = locally_optimal_load_balancing(problem, initial)
+        bridge_key = edge_key(bridge_u, bridge_v)
+        bridge_uses = result.edge_usage[bridge_key]
+        assert bridge_uses == result.max_edge_usage()
+        assert all(
+            uses <= bridge_uses for key, uses in result.edge_usage.items()
+        )
+        # Every recorded usage is on a real edge, and the books balance.
+        assert set(result.edge_usage) <= set(problem.edges)
+        assert result.moves == sum(result.edge_usage.values())
+        assert result.is_locally_balanced(problem)
+
+    def test_per_edge_usage_counts_match_flow_across_the_bridge(self):
+        """The bridge usage equals the net load that must end up on the
+        light side, which pins down the per-edge counter exactly."""
+        clique_size = 8
+        problem, bridge_u, bridge_v = two_cliques_bottleneck(clique_size=clique_size)
+        initial = {node: 0 for node in problem.nodes}
+        for node in range(clique_size):
+            initial[node] = 4
+        result = locally_optimal_load_balancing(problem, initial)
+        right_final = sum(
+            result.loads[node] for node in range(clique_size, 2 * clique_size)
+        )
+        # Units only enter the right clique across the bridge, one per use.
+        assert result.edge_usage[edge_key(bridge_u, bridge_v)] >= right_final
+        assert right_final > 0

@@ -7,12 +7,14 @@ import pytest
 from repro.core.orientation.problem import OrientationProblem
 from repro.core.token_dropping import TokenDroppingInstance
 from repro.graphs.bipartite import CustomerServerGraph
+from repro.graphs.compact import CompactBipartite, CompactGraph
 from repro.workloads import (
     bounded_degree_token_dropping,
     caterpillar_orientation,
     datacenter_assignment,
     figure2_game,
     hard_matching_bipartite,
+    layered_dag_orientation,
     long_path_orientation,
     random_token_dropping,
     regular_orientation,
@@ -68,6 +70,48 @@ class TestOrientationScenarios:
         assert problem.num_edges() == 2 * 10 + 1
         with pytest.raises(ValueError):
             two_cliques_bottleneck(clique_size=1)
+
+
+class TestCompactEmission:
+    """``compact=True`` emits the same seeded instance in CSR form."""
+
+    def test_layered_dag_orientation_matches_token_dropping_substrate(self):
+        problem = layered_dag_orientation(num_levels=5, width=6, seed=3)
+        game = random_token_dropping(
+            num_levels=5, width=6, edge_probability=0.4, seed=3
+        )
+        assert isinstance(problem, OrientationProblem)
+        assert problem.num_edges() == len(game.graph.edges)
+
+    @pytest.mark.parametrize(
+        "builder,kwargs",
+        [
+            (sensor_network_orientation, dict(num_nodes=40, seed=2)),
+            (regular_orientation, dict(degree=4, num_nodes=20, seed=2)),
+            (caterpillar_orientation, dict(spine=8, legs=2)),
+            (long_path_orientation, dict(length=25)),
+            (layered_dag_orientation, dict(num_levels=4, width=5, seed=2)),
+        ],
+    )
+    def test_orientation_builders_emit_equal_compact_instances(self, builder, kwargs):
+        reference = builder(**kwargs)
+        compact = builder(**kwargs, compact=True)
+        assert isinstance(compact, CompactGraph)
+        assert compact.to_orientation_problem() == reference
+
+    @pytest.mark.parametrize(
+        "builder,kwargs",
+        [
+            (datacenter_assignment, dict(num_jobs=40, num_servers=8, seed=5)),
+            (uniform_assignment, dict(num_jobs=40, num_servers=8, seed=5)),
+            (hard_matching_bipartite, dict(side=12, degree=3, seed=5)),
+        ],
+    )
+    def test_assignment_builders_emit_equal_compact_instances(self, builder, kwargs):
+        reference = builder(**kwargs)
+        compact = builder(**kwargs, compact=True)
+        assert isinstance(compact, CompactBipartite)
+        assert compact.to_customer_server_graph() == reference
 
 
 class TestScenarioDeterminism:
