@@ -24,6 +24,7 @@ command above.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -40,6 +41,11 @@ def pytest_configure(config):  # noqa: D103 - pytest hook
 
 def pytest_sessionfinish(session, exitstatus):
     """Write one ``BENCH_<name>.json`` per benchmarked ``bench_<name>.py``."""
+    if os.environ.get("REPRO_BENCH_SMOKE", "") == "1":
+        # Smoke runs shrink instances to CI size; merging their medians
+        # (keyed by the same test names) would silently overwrite the
+        # committed full-scale trajectory.
+        return
     benchmark_session = getattr(session.config, "_benchmarksession", None)
     if benchmark_session is None:
         return

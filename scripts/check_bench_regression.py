@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Perf-regression smoke check for the compact token-dropping path.
+
+Re-times the fixed smoke scenario committed in ``BENCH_token_dropping.json``
+(``test_proposal_smoke_scale``, built by
+:func:`repro.workloads.token_dropping_smoke`) and fails when the fresh
+median exceeds the committed median by more than ``--max-factor`` (3x by
+default — generous enough to absorb machine differences, tight enough to
+catch an accidental fall-back to the reference scheduler or a kernel
+pessimisation).
+
+Because the committed median was measured on a different machine, the
+absolute budget alone cannot distinguish "slow CI runner" from "kernel
+fell back to the reference scheduler".  The script therefore also times
+the reference backend *on the same machine in the same process* and
+requires the compact path to stay at least ``--min-ratio`` times faster
+(3x by default; the measured ratio on the smoke instance runs ~7x).  A
+silent fallback drives that ratio to ~1 and fails regardless of runner
+speed.
+
+Before timing anything, the script cross-checks the compact and reference
+backends on the same instance and fails on any disagreement, so CI keeps
+a standing compact-vs-reference agreement check for the token-dropping
+kernels even when every timing is fine.
+
+Usage (CI runs exactly this):
+
+    PYTHONPATH=src python scripts/check_bench_regression.py --max-factor 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.token_dropping import run_proposal_algorithm
+from repro.workloads import token_dropping_smoke
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_token_dropping.json"
+SCENARIO = "test_proposal_smoke_scale"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Fail when the compact token-dropping median regresses."
+    )
+    parser.add_argument(
+        "--max-factor", type=float, default=3.0,
+        help="allowed multiple of the committed median (default 3)",
+    )
+    parser.add_argument(
+        "--min-ratio", type=float, default=3.0,
+        help="required dict/compact median ratio on this machine (default 3)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=5,
+        help="timing repetitions; the median is compared (default 5)",
+    )
+    parser.add_argument(
+        "--bench-file", type=Path, default=BENCH_FILE,
+        help="committed medians file (default BENCH_token_dropping.json)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(list(argv) if argv is not None else None)
+
+    try:
+        payload = json.loads(args.bench_file.read_text())
+        committed = payload["scenarios"][SCENARIO]["median_seconds"]
+    except (OSError, ValueError, KeyError):
+        print(
+            f"ERROR: no committed median for {SCENARIO!r} in {args.bench_file}; "
+            "regenerate it with: pytest benchmarks/bench_token_dropping.py "
+            "--benchmark-only",
+            file=sys.stderr,
+        )
+        return 2
+
+    instance = token_dropping_smoke()
+
+    # Agreement first: a fast-but-wrong kernel must fail before any timing.
+    fast = run_proposal_algorithm(instance, backend="compact")
+    reference = run_proposal_algorithm(instance, backend="dict")
+    if fast != reference:
+        print(
+            "ERROR: compact and reference token-dropping executions disagree "
+            "on the smoke instance",
+            file=sys.stderr,
+        )
+        return 1
+    fast.validate(instance).raise_if_invalid()
+
+    def timed_median(backend: str) -> float:
+        times = []
+        for _ in range(max(1, args.rounds)):
+            start = time.perf_counter()
+            run_proposal_algorithm(instance, backend=backend)
+            times.append(time.perf_counter() - start)
+        return statistics.median(times)
+
+    # The agreement runs above warmed the instance's network/compact caches,
+    # like the benchmark does before timing.
+    median = timed_median("compact")
+    dict_median = timed_median("dict")
+    ratio = dict_median / median if median else float("inf")
+
+    budget = committed * args.max_factor
+    print(
+        f"{SCENARIO}: measured median {median:.4f}s, committed "
+        f"{committed:.4f}s, budget {budget:.4f}s ({args.max_factor:.1f}x); "
+        f"dict median {dict_median:.4f}s, ratio {ratio:.1f}x "
+        f"(floor {args.min_ratio:.1f}x)"
+    )
+    failed = False
+    if median > budget:
+        print(
+            f"ERROR: compact token-dropping path regressed more than "
+            f"{args.max_factor:.1f}x against the committed median",
+            file=sys.stderr,
+        )
+        failed = True
+    if ratio < args.min_ratio:
+        print(
+            f"ERROR: compact path is only {ratio:.1f}x faster than the "
+            f"reference scheduler on this machine (floor "
+            f"{args.min_ratio:.1f}x) — likely a silent fall-back or kernel "
+            "pessimisation",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
+        return 1
+    print("OK: within budget and ratio floor; backends agree")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,8 +25,8 @@ from __future__ import annotations
 import argparse
 import math
 import sys
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
 
 from repro.analysis import fit_power_law, markdown_table
 from repro.engine import (
@@ -52,6 +52,8 @@ class EngineOptions:
     resume: bool = True
     quiet: bool = False
     seeds: Optional[Sequence[int]] = None
+    #: Every TaskResult of the run, collected for the --top-slowest report.
+    collected: List = field(default_factory=list)
 
 
 def out(text: str = "") -> None:
@@ -91,7 +93,35 @@ def sweep(
         progress=reporter,
     )
     reporter.close()
+    opts.collected.extend(results)
     return results
+
+
+def report_top_slowest(opts: EngineOptions, count: int) -> None:
+    """Print the ``count`` slowest tasks of the run (hot spots at a glance).
+
+    Per-task wall time is recorded in every result (and persisted as
+    ``elapsed_seconds`` in the cache's ``results.jsonl``), so this report
+    needs no re-profiling; cache-restored tasks report the wall time of
+    their original execution.
+    """
+    if count <= 0 or not opts.collected:
+        return
+    slowest = sorted(
+        opts.collected, key=lambda r: r.elapsed_seconds, reverse=True
+    )[:count]
+    out(f"## Top {len(slowest)} slowest tasks\n")
+    rows = []
+    for result in slowest:
+        params = " ".join(f"{k}={v}" for k, v in sorted(result.params.items()))
+        rows.append(
+            [result.experiment, params or "-", result.seed,
+             f"{result.elapsed_seconds:.3f}",
+             "cache" if result.cached else "run"]
+        )
+    out(markdown_table(
+        ["experiment", "params", "seed", "wall time (s)", "source"], rows))
+    out()
 
 
 # ----------------------------------------------------------------------
@@ -378,6 +408,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", "-q", action="store_true",
         help="suppress per-task progress lines on stderr",
     )
+    parser.add_argument(
+        "--top-slowest", type=int, default=0, metavar="N",
+        help="after the report, list the N slowest tasks by recorded wall "
+        "time (hot spots without re-profiling; 0 disables)",
+    )
     return parser
 
 
@@ -405,6 +440,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for name in EXPERIMENTS:
         if name in selected:
             EXPERIMENTS[name](opts)
+    report_top_slowest(opts, args.top_slowest)
     return 0
 
 

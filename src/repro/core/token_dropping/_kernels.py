@@ -1,0 +1,683 @@
+"""Int-array fast-path kernels for the token dropping game.
+
+These are the compact counterparts of the three token dropping solvers:
+
+* :func:`greedy_kernel` — the centralized sequential baseline
+  (:func:`~repro.core.token_dropping.greedy.greedy_token_dropping`);
+* :func:`proposal_kernel` — the distributed proposal algorithm
+  (Theorem 4.1, :mod:`repro.core.token_dropping.proposal`);
+* :func:`three_level_kernel` — the O(Δ) height-3 algorithm
+  (Theorem 4.7, :mod:`repro.core.token_dropping.three_level`).
+
+Each kernel re-represents its input once — dense node ids in
+``repr``-sorted order, parent/child adjacency as flat CSR lists sharing
+one edge-id space — and then simulates the *same execution* the reference
+path performs, touching only integer arrays in the hot loop: token
+positions, per-edge consumed flags, incremental parent/child counts, and
+per-phase request/grant buffers instead of per-message dict envelopes.
+
+Exactness contract
+------------------
+The kernels reproduce the reference executions bit-for-bit: the same
+final token configuration, the same set of used edges, the same pass
+histories, the same round counts, and (for the distributed kernels) the
+same :class:`~repro.local_model.metrics.ExecutionMetrics` including
+message counts and per-node halt rounds.  This works because
+
+* interning is ``repr``-sorted, so the reference tie-break rule
+  ("smallest ``repr`` first", see ``_choose`` in the proposal module)
+  becomes "smallest dense id first" — candidate lists built by ascending
+  scans are already in reference order;
+* the ``random`` tie-break seeds one :class:`random.Random` per node from
+  ``f"{seed}:{node_id!r}"`` exactly like the reference node classes, and
+  each node's generator is consumed in the same per-node event order;
+* message counting replays the scheduler's delivery rule (messages to
+  nodes that halted in or before the sending round are dropped), and the
+  termination checks run against the same pre-``LEAVE`` neighbour counts
+  the reference nodes observe.
+
+The cross-validation suite asserts all of this on hundreds of seeded
+instances (``tests/integration/test_compact_cross_validation.py``).
+
+The distributed kernels run behind the existing
+:class:`~repro.local_model.runner.Runner` API: the algorithm factories
+register them via ``AlgorithmFactory(..., compact_kernel=...)`` and
+:mod:`repro.dispatch` decides per execution which path runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.token_dropping.game import (
+    LOCAL_HAS_TOKEN,
+    LOCAL_LEVEL,
+    LOCAL_PARENTS,
+    TokenDroppingInstance,
+)
+from repro.core.token_dropping.traversal import TokenDroppingSolution, Traversal
+from repro.graphs.compact import intern_nodes
+from repro.local_model.compact import CompactEngine, CompactNetwork
+from repro.local_model.metrics import ExecutionMetrics
+
+
+class _DenseGame:
+    """Directed layered adjacency in flat parallel lists.
+
+    Parent and child CSR structures share one edge-id space: directed
+    edge ``e`` appears once in some node's parent list and once in the
+    parent's child list, so a single ``consumed`` byte per edge serves
+    both endpoints.  Lists are ascending per node (dense ids are interned
+    in ``repr`` order), which is exactly the reference tie-break order.
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "num_edges",
+        "has_token",
+        "level",
+        "par_ptr",
+        "par_node",
+        "par_edge",
+        "chi_ptr",
+        "chi_node",
+        "chi_edge",
+    )
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = num_nodes
+        self.num_edges = 0
+        self.has_token = bytearray(num_nodes)
+        self.level = [0] * num_nodes
+        self.par_ptr = [0] * (num_nodes + 1)
+        self.par_node: List[int] = []
+        self.par_edge: List[int] = []
+        self.chi_ptr = [0] * (num_nodes + 1)
+        self.chi_node: List[int] = []
+        self.chi_edge: List[int] = []
+
+    def _flatten_children(self, chi_lists: List[List[Tuple[int, int]]]) -> None:
+        for p, entries in enumerate(chi_lists):
+            for child, edge in entries:
+                self.chi_node.append(child)
+                self.chi_edge.append(edge)
+            self.chi_ptr[p + 1] = len(self.chi_node)
+
+    @classmethod
+    def of(cls, net: CompactNetwork) -> "_DenseGame":
+        """The dense game of ``net``, memoized on the compact network.
+
+        The dense adjacency, initial token flags, and levels are all
+        derived from immutable inputs; kernels copy the mutable pieces
+        (token flags) before simulating, so the memo stays pristine.
+        """
+        cached = net.derived.get("token_game")
+        if cached is None:
+            cached = cls.from_compact_network(net)
+            net.derived["token_game"] = cached
+        return cached
+
+    @classmethod
+    def _build(cls, n: int, rows) -> "_DenseGame":
+        """Build from per-node ``(has_token, level, sorted_dense_parents)``.
+
+        The single place where CSR slots and the shared edge-id space are
+        assigned; both constructors feed it through an accessor generator.
+        """
+        game = cls(n)
+        chi_lists: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+        edge = 0
+        for i, (has_token, level, parents) in enumerate(rows):
+            if has_token:
+                game.has_token[i] = 1
+            if level:
+                game.level[i] = level
+            for p in parents:
+                game.par_node.append(p)
+                game.par_edge.append(edge)
+                chi_lists[p].append((i, edge))
+                edge += 1
+            game.par_ptr[i + 1] = len(game.par_node)
+        game.num_edges = edge
+        game._flatten_children(chi_lists)
+        return game
+
+    @classmethod
+    def from_compact_network(cls, net: CompactNetwork) -> "_DenseGame":
+        """Read the token-dropping local inputs of every node (one pass)."""
+        index_of = net.index_of
+
+        def rows():
+            for local in net.local_inputs:
+                local = local or {}
+                yield (
+                    local.get(LOCAL_HAS_TOKEN),
+                    int(local.get(LOCAL_LEVEL) or 0),
+                    sorted(index_of[x] for x in local.get(LOCAL_PARENTS, ())),
+                )
+
+        return cls._build(net.num_nodes, rows())
+
+    @classmethod
+    def from_instance(
+        cls, instance: TokenDroppingInstance
+    ) -> Tuple["_DenseGame", Tuple, Dict]:
+        """Intern a :class:`TokenDroppingInstance` directly (one pass)."""
+        graph = instance.graph
+        node_ids, index_of = intern_nodes(graph.levels)
+
+        def rows():
+            for node in node_ids:
+                yield (
+                    node in instance.tokens,
+                    graph.levels[node],
+                    sorted(index_of[x] for x in graph.parents(node)),
+                )
+
+        return cls._build(len(node_ids), rows()), node_ids, index_of
+
+
+def _node_rngs(
+    tie_break: str, seed: int, node_ids: Tuple
+) -> Optional[List[random.Random]]:
+    """Per-node generators matching the reference node constructors."""
+    if tie_break != "random":
+        return None
+    return [random.Random(f"{seed}:{node_id!r}") for node_id in node_ids]
+
+
+def _pick(candidates: List, tie_break: str, rng: Optional[random.Random]):
+    """Reference ``_choose`` over an already-ascending candidate list."""
+    if tie_break == "min":
+        return candidates[0]
+    if tie_break == "max":
+        return candidates[-1]
+    return candidates[rng.randrange(len(candidates))]
+
+
+def _leave_messages(i, game, alive, dying_now, consumed, n_par, n_chi) -> int:
+    """LEAVE fan-out of one dying node (shared by both round kernels).
+
+    Counts deliveries to surviving neighbours (receivers halting in the
+    same round drop the message, per the scheduler rule) and removes the
+    dying node from each survivor's parent/child count.
+    """
+    par_ptr, par_node, par_edge = game.par_ptr, game.par_node, game.par_edge
+    chi_ptr, chi_node, chi_edge = game.chi_ptr, game.chi_node, game.chi_edge
+    messages = 0
+    for s in range(par_ptr[i], par_ptr[i + 1]):
+        if consumed[par_edge[s]]:
+            continue
+        p = par_node[s]
+        if alive[p] and not dying_now[p]:
+            messages += 1
+            n_chi[p] -= 1
+    for s in range(chi_ptr[i], chi_ptr[i + 1]):
+        if consumed[chi_edge[s]]:
+            continue
+        c = chi_node[s]
+        if alive[c] and not dying_now[c]:
+            messages += 1
+            n_par[c] -= 1
+    return messages
+
+
+def _halt_outputs(ids, initially, has_token, token, received, passed) -> List[dict]:
+    """Per-node halt outputs in original-id space (both round kernels)."""
+    return [
+        {
+            "initially_occupied": bool(initially[i]),
+            "finally_occupied": bool(has_token[i]),
+            "final_token": ids[token[i]] if has_token[i] else None,
+            "received": tuple((ids[t], ids[s]) for t, s in received[i]),
+            "passed": tuple((ids[t], ids[c]) for t, c in passed[i]),
+        }
+        for i in range(len(ids))
+    ]
+
+
+# ----------------------------------------------------------------------
+# The distributed proposal algorithm (Theorem 4.1)
+# ----------------------------------------------------------------------
+def proposal_kernel(
+    net: CompactNetwork,
+    max_rounds: int,
+    *,
+    tie_break: str = "min",
+    seed: int = 0,
+) -> Tuple[List[dict], ExecutionMetrics]:
+    """Simulate the proposal algorithm's execution on flat int arrays.
+
+    Returns per-dense-node outputs (the dicts the reference nodes pass to
+    ``ctx.halt``) and reference-equal execution metrics.
+    """
+    game = _DenseGame.of(net)
+    n = game.num_nodes
+    engine = CompactEngine(n, max_rounds)
+    alive = engine.alive
+    par_ptr, par_node, par_edge = game.par_ptr, game.par_node, game.par_edge
+    chi_ptr, chi_node, chi_edge = game.chi_ptr, game.chi_node, game.chi_edge
+
+    has_token = bytearray(game.has_token)
+    initially = bytes(has_token)
+    token = [i if has_token[i] else -1 for i in range(n)]
+    n_par = [par_ptr[i + 1] - par_ptr[i] for i in range(n)]
+    n_chi = [chi_ptr[i + 1] - chi_ptr[i] for i in range(n)]
+    consumed = bytearray(game.num_edges)
+    received: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+    passed: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+    rngs = _node_rngs(tie_break, seed, net.node_ids)
+
+    active = list(range(n))
+    dying_now = bytearray(n)
+    # In-flight grants (child, parent, token), applied at the next
+    # announce round exactly when the reference node processes its inbox.
+    pending_grants: List[Tuple[int, int, int]] = []
+
+    def announce(round_number: int) -> None:
+        nonlocal active
+        for c, p, tok in pending_grants:
+            has_token[c] = 1
+            token[c] = tok
+            received[c].append((tok, p))
+            n_par[c] -= 1
+        pending_grants.clear()
+        # Termination checks run against pre-LEAVE state: a death in this
+        # round only becomes visible to neighbours at the next round.
+        dying = []
+        for i in active:
+            if (n_chi[i] == 0) if has_token[i] else (n_par[i] == 0):
+                dying.append(i)
+                dying_now[i] = 1
+        messages = 0
+        for i in dying:
+            messages += _leave_messages(
+                i, game, alive, dying_now, consumed, n_par, n_chi
+            )
+        # A surviving token-holder's announcement is delivered over every
+        # unconsumed edge to a child that has not left — which, once this
+        # round's LEAVE decrements are in, is exactly n_chi[i]: consumed
+        # edges and departed children are already subtracted, and
+        # same-round deaths drop the message per the scheduler rule.
+        for i in active:
+            if has_token[i] and not dying_now[i]:
+                messages += n_chi[i]
+        engine.messages += messages
+        for i in dying:
+            engine.halt(i, round_number)
+            dying_now[i] = 0
+        if dying:
+            active = [i for i in active if alive[i]]
+
+    def request_round() -> Dict[int, List[Tuple[int, int]]]:
+        requests: Dict[int, List[Tuple[int, int]]] = {}
+        messages = 0
+        if tie_break == "min":
+            # Smallest repr == smallest dense id == first valid slot, so
+            # the default policy needs no candidate list at all.
+            for c in active:
+                if has_token[c]:
+                    continue
+                for s in range(par_ptr[c], par_ptr[c + 1]):
+                    e = par_edge[s]
+                    if consumed[e]:
+                        continue
+                    p = par_node[s]
+                    if alive[p] and has_token[p]:
+                        messages += 1
+                        requests.setdefault(p, []).append((c, e))
+                        break
+        else:
+            for c in active:
+                if has_token[c]:
+                    continue
+                candidates = []
+                for s in range(par_ptr[c], par_ptr[c + 1]):
+                    e = par_edge[s]
+                    if consumed[e]:
+                        continue
+                    p = par_node[s]
+                    if alive[p] and has_token[p]:
+                        candidates.append((p, e))
+                if not candidates:
+                    continue
+                p, e = _pick(candidates, tie_break, rngs[c] if rngs else None)
+                messages += 1
+                requests.setdefault(p, []).append((c, e))
+        engine.messages += messages
+        return requests
+
+    def grant_round(requests: Dict[int, List[Tuple[int, int]]]) -> None:
+        messages = 0
+        for p, requesters in requests.items():
+            # p announced this game round, so it is alive and still holds
+            # its token; the requesters are current children (ascending,
+            # because request_round scans nodes in dense order).
+            c, e = _pick(requesters, tie_break, rngs[p] if rngs else None)
+            messages += 1
+            tok = token[p]
+            passed[p].append((tok, c))
+            consumed[e] = 1
+            n_chi[p] -= 1
+            has_token[p] = 0
+            token[p] = -1
+            pending_grants.append((c, p, tok))
+        engine.messages += messages
+
+    announce(0)
+    while engine.n_alive:
+        engine.step()
+        requests = request_round()
+        engine.step()
+        grant_round(requests)
+        announce(engine.step())
+
+    ids = net.node_ids
+    outputs = _halt_outputs(ids, initially, has_token, token, received, passed)
+    return outputs, engine.metrics(ids)
+
+
+# ----------------------------------------------------------------------
+# The three-level algorithm (Theorem 4.7)
+# ----------------------------------------------------------------------
+def three_level_kernel(
+    net: CompactNetwork,
+    max_rounds: int,
+    *,
+    tie_break: str = "min",
+    seed: int = 0,
+) -> Tuple[List[dict], ExecutionMetrics]:
+    """Simulate the height-3 algorithm's execution on flat int arrays."""
+    game = _DenseGame.of(net)
+    n = game.num_nodes
+    engine = CompactEngine(n, max_rounds)
+    alive = engine.alive
+    level = game.level
+    par_ptr, par_node, par_edge = game.par_ptr, game.par_node, game.par_edge
+    chi_ptr, chi_node, chi_edge = game.chi_ptr, game.chi_node, game.chi_edge
+
+    has_token = bytearray(game.has_token)
+    initially = bytes(has_token)
+    token = [i if has_token[i] else -1 for i in range(n)]
+    n_par = [par_ptr[i + 1] - par_ptr[i] for i in range(n)]
+    n_chi = [chi_ptr[i + 1] - chi_ptr[i] for i in range(n)]
+    consumed = bytearray(game.num_edges)
+    received: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+    passed: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+    rngs = _node_rngs(tie_break, seed, net.node_ids)
+
+    active = list(range(n))
+    dying_now = bytearray(n)
+    # In-flight GRANTs to level-1 nodes and ACCEPTs to level-1 proposers,
+    # both applied at the next announce round (reference inbox timing).
+    pending_grants: List[Tuple[int, int, int]] = []
+    pending_accepts: List[Tuple[int, int]] = []
+
+    def announce(round_number: int) -> None:
+        nonlocal active
+        for c, p, tok in pending_grants:
+            has_token[c] = 1
+            token[c] = tok
+            received[c].append((tok, p))
+            n_par[c] -= 1
+        pending_grants.clear()
+        for p, c in pending_accepts:
+            # The accepted proposer still holds the proposed token.
+            passed[p].append((token[p], c))
+            n_chi[p] -= 1
+            has_token[p] = 0
+            token[p] = -1
+        pending_accepts.clear()
+        dying = []
+        for i in active:
+            lvl = level[i]
+            if lvl == 2:
+                die = (not has_token[i]) or n_chi[i] == 0
+            elif lvl == 0:
+                die = bool(has_token[i]) or n_par[i] == 0
+            else:
+                die = (n_chi[i] == 0) if has_token[i] else (n_par[i] == 0)
+            if die:
+                dying.append(i)
+                dying_now[i] = 1
+        messages = 0
+        for i in dying:
+            messages += _leave_messages(
+                i, game, alive, dying_now, consumed, n_par, n_chi
+            )
+        # Counter-based delivery counts, as in proposal_kernel's announce:
+        # after this round's LEAVE decrements, n_chi/n_par hold exactly the
+        # unconsumed edges to neighbours that have not left, and same-round
+        # deaths drop the message per the scheduler rule.
+        for i in active:
+            if dying_now[i]:
+                continue
+            lvl = level[i]
+            if lvl == 2 and has_token[i]:
+                messages += n_chi[i]
+            elif lvl == 0 and not has_token[i]:
+                messages += n_par[i]
+        engine.messages += messages
+        for i in dying:
+            engine.halt(i, round_number)
+            dying_now[i] = 0
+        if dying:
+            active = [i for i in active if alive[i]]
+
+    def act_round() -> Tuple[
+        Dict[int, List[Tuple[int, int]]], Dict[int, List[Tuple[int, int, int]]]
+    ]:
+        requests: Dict[int, List[Tuple[int, int]]] = {}
+        proposals: Dict[int, List[Tuple[int, int, int]]] = {}
+        messages = 0
+        first = tie_break == "min"
+        for i in active:
+            if level[i] != 1:
+                continue
+            if not has_token[i]:
+                candidates = []
+                for s in range(par_ptr[i], par_ptr[i + 1]):
+                    e = par_edge[s]
+                    if consumed[e]:
+                        continue
+                    p = par_node[s]
+                    if alive[p] and has_token[p]:
+                        candidates.append((p, e))
+                        if first:
+                            break
+                if not candidates:
+                    continue
+                p, e = _pick(candidates, tie_break, rngs[i] if rngs else None)
+                messages += 1
+                requests.setdefault(p, []).append((i, e))
+            else:
+                candidates = []
+                for s in range(chi_ptr[i], chi_ptr[i + 1]):
+                    e = chi_edge[s]
+                    if consumed[e]:
+                        continue
+                    c = chi_node[s]
+                    # Level-0 survivors are exactly the unoccupied nodes
+                    # that announced UNOCCUPIED this game round.
+                    if alive[c] and not has_token[c]:
+                        candidates.append((c, e))
+                        if first:
+                            break
+                if not candidates:
+                    continue
+                c, e = _pick(candidates, tie_break, rngs[i] if rngs else None)
+                messages += 1
+                proposals.setdefault(c, []).append((i, e, token[i]))
+        engine.messages += messages
+        return requests, proposals
+
+    def resolve_round(
+        requests: Dict[int, List[Tuple[int, int]]],
+        proposals: Dict[int, List[Tuple[int, int, int]]],
+    ) -> None:
+        messages = 0
+        for p, requesters in requests.items():
+            # Level-2 granters announced this game round, so they are
+            # alive and hold their token.
+            c, e = _pick(requesters, tie_break, rngs[p] if rngs else None)
+            messages += 1
+            tok = token[p]
+            passed[p].append((tok, c))
+            consumed[e] = 1
+            n_chi[p] -= 1
+            has_token[p] = 0
+            token[p] = -1
+            pending_grants.append((c, p, tok))
+        for c, offers in proposals.items():
+            # Level-0 acceptors announced UNOCCUPIED, so they are alive
+            # and unoccupied; the edge is consumed on both sides now (the
+            # proposer learns via the pending ACCEPT next round).
+            p, e, tok = _pick(offers, tie_break, rngs[c] if rngs else None)
+            messages += 1
+            has_token[c] = 1
+            token[c] = tok
+            received[c].append((tok, p))
+            consumed[e] = 1
+            n_par[c] -= 1
+            pending_accepts.append((p, c))
+        engine.messages += messages
+
+    announce(0)
+    while engine.n_alive:
+        engine.step()
+        requests, proposals = act_round()
+        engine.step()
+        resolve_round(requests, proposals)
+        announce(engine.step())
+
+    ids = net.node_ids
+    outputs = _halt_outputs(ids, initially, has_token, token, received, passed)
+    return outputs, engine.metrics(ids)
+
+
+# ----------------------------------------------------------------------
+# The centralized greedy baseline (Section 4)
+# ----------------------------------------------------------------------
+def greedy_kernel(
+    instance: TokenDroppingInstance,
+    *,
+    order: str = "first",
+    seed: int = 0,
+) -> TokenDroppingSolution:
+    """Run the centralized greedy baseline on flat int arrays.
+
+    Replays :func:`~repro.core.token_dropping.greedy.greedy_token_dropping`
+    move for move: the reference scans every token's children each
+    iteration and sorts candidates by ``repr``; the kernel keeps an
+    incremental movable-children count per node, so each move costs
+    O(tokens + Δ) integer work instead of O(tokens · Δ) hashing plus an
+    O(tokens log tokens) string sort.
+    """
+    game, node_ids, index_of = _DenseGame.from_instance(instance)
+    level = game.level
+    par_ptr, par_node, par_edge = game.par_ptr, game.par_node, game.par_edge
+    chi_ptr, chi_node, chi_edge = game.chi_ptr, game.chi_node, game.chi_edge
+
+    rng = random.Random(seed)
+    occupied = bytearray(game.has_token)
+    consumed = bytearray(game.num_edges)
+    # The reference iterates candidates in token-insertion order (the
+    # iteration order of ``instance.tokens``), which the seeded ``random``
+    # policy indexes into — so that order is part of the replayed state.
+    tokens_in_order = [index_of[t] for t in instance.tokens]
+    tokens_ascending = sorted(tokens_in_order)
+    position = [-1] * game.num_nodes
+    paths: Dict[int, List[int]] = {}
+    for t in tokens_in_order:
+        position[t] = t
+        paths[t] = [t]
+    history: List[List[Tuple[int, int]]] = [[] for _ in range(game.num_nodes)]
+
+    # movable[v] = number of children reachable from v over an unconsumed
+    # edge and currently unoccupied; a token is movable iff its node has
+    # a positive count.  Maintained incrementally per move.
+    movable = [0] * game.num_nodes
+    for v in range(game.num_nodes):
+        count = 0
+        for s in range(chi_ptr[v], chi_ptr[v + 1]):
+            if not occupied[chi_node[s]]:
+                count += 1
+        movable[v] = count
+
+    while True:
+        chosen = -1
+        if order == "first":
+            for t in tokens_ascending:
+                if movable[position[t]]:
+                    chosen = t
+                    break
+        elif order == "random":
+            candidates = [t for t in tokens_in_order if movable[position[t]]]
+            if candidates:
+                chosen = candidates[rng.randrange(len(candidates))]
+        elif order == "highest_level":
+            best_key = None
+            for t in tokens_in_order:
+                if movable[position[t]]:
+                    key = (level[position[t]], t)
+                    if best_key is None or key > best_key:
+                        best_key = key
+                        chosen = t
+        else:  # lowest_level
+            best_key = None
+            for t in tokens_in_order:
+                if movable[position[t]]:
+                    key = (level[position[t]], t)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        chosen = t
+        if chosen < 0:
+            break
+
+        node = position[chosen]
+        if order != "random":
+            # First unconsumed slot to an unoccupied child == the
+            # reference's smallest-repr child.
+            child = edge = -1
+            for s in range(chi_ptr[node], chi_ptr[node + 1]):
+                if not consumed[chi_edge[s]] and not occupied[chi_node[s]]:
+                    child, edge = chi_node[s], chi_edge[s]
+                    break
+        else:
+            steps = [
+                (chi_node[s], chi_edge[s])
+                for s in range(chi_ptr[node], chi_ptr[node + 1])
+                if not consumed[chi_edge[s]] and not occupied[chi_node[s]]
+            ]
+            child, edge = steps[rng.randrange(len(steps))]
+
+        consumed[edge] = 1
+        movable[node] -= 1  # the chosen child was unoccupied
+        occupied[node] = 0
+        for s in range(par_ptr[node], par_ptr[node + 1]):
+            if not consumed[par_edge[s]]:
+                movable[par_node[s]] += 1
+        occupied[child] = 1
+        for s in range(par_ptr[child], par_ptr[child + 1]):
+            if not consumed[par_edge[s]]:
+                movable[par_node[s]] -= 1
+        position[chosen] = child
+        paths[chosen].append(child)
+        history[node].append((chosen, child))
+
+    traversals = {
+        node_ids[t]: Traversal(node_ids[t], [node_ids[v] for v in path])
+        for t, path in paths.items()
+    }
+    pass_history = {
+        node_ids[v]: tuple((node_ids[t], node_ids[c]) for t, c in events)
+        for v, events in enumerate(history)
+        if events
+    }
+    return TokenDroppingSolution(
+        traversals=traversals,
+        pass_history=pass_history,
+        game_rounds=None,
+        communication_rounds=None,
+    )

@@ -68,6 +68,9 @@ class TokenDroppingInstance:
             )
         object.__setattr__(self, "graph", graph)
         object.__setattr__(self, "tokens", token_set)
+        # Memoized to_network results (instances are immutable, so the
+        # conversion is deterministic); keyed by include_levels.
+        object.__setattr__(self, "_networks", {})
 
     # ------------------------------------------------------------------
     @property
@@ -113,19 +116,43 @@ class TokenDroppingInstance:
         * ``"parents"`` -- frozenset of neighbours one level above,
         * ``"children"`` -- frozenset of neighbours one level below,
         * ``"level"`` -- only when ``include_levels=True``.
+
+        The conversion is a single O(n + m) pass: the per-node parent and
+        child sets are the ones :class:`~repro.graphs.layered.LayeredGraph`
+        precomputed at construction, the undirected adjacency is their
+        union, and the network is built through the trusted
+        :meth:`~repro.local_model.network.Network.from_validated_adjacency`
+        constructor (the layered graph already enforced simplicity), so no
+        part of the edge list is re-scanned per node or re-validated.
+        The result is memoized: instances are immutable, so repeated
+        executions on the same game (e.g. backend head-to-heads) share
+        one network object — and thereby its cached compact form.
         """
+        cached = self._networks.get(include_levels)
+        if cached is not None:
+            return cached
+        graph = self.graph
+        levels = graph.levels
+        tokens = self.tokens
+        adjacency: Dict[NodeId, FrozenSet[NodeId]] = {}
         local_inputs: Dict[NodeId, Dict[str, object]] = {}
-        for node in self.graph.nodes:
+        for node in levels:
+            parents = graph.parents(node)
+            children = graph.children(node)
+            adjacency[node] = parents | children
             entry: Dict[str, object] = {
-                LOCAL_HAS_TOKEN: node in self.tokens,
-                LOCAL_PARENTS: self.graph.parents(node),
-                LOCAL_CHILDREN: self.graph.children(node),
+                LOCAL_HAS_TOKEN: node in tokens,
+                LOCAL_PARENTS: parents,
+                LOCAL_CHILDREN: children,
             }
             if include_levels:
-                entry[LOCAL_LEVEL] = self.graph.level(node)
+                entry[LOCAL_LEVEL] = levels[node]
             local_inputs[node] = entry
-        edges = [(child, parent) for child, parent in self.graph.edges]
-        return Network(nodes=self.graph.nodes, edges=edges, local_inputs=local_inputs)
+        network = Network.from_validated_adjacency(
+            adjacency, graph.edges, local_inputs
+        )
+        self._networks[include_levels] = network
+        return network
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

@@ -204,9 +204,28 @@ class ProposalNode(NodeAlgorithm):
 
 
 def proposal_factory(tie_break: str = "min", seed: int = 0) -> AlgorithmFactory:
-    """An :class:`AlgorithmFactory` for :class:`ProposalNode` with fixed policy."""
+    """An :class:`AlgorithmFactory` for :class:`ProposalNode` with fixed policy.
+
+    The factory also registers the int-array fast path
+    (:func:`repro.core.token_dropping._kernels.proposal_kernel`), so a
+    :class:`Runner` dispatches this algorithm to the compact round engine
+    per :mod:`repro.dispatch` while reproducing the reference execution
+    exactly.
+    """
+    if tie_break not in TIE_BREAK_POLICIES:
+        raise ValueError(
+            f"unknown tie-break policy {tie_break!r}; expected one of {TIE_BREAK_POLICIES}"
+        )
+    from repro.core.token_dropping._kernels import proposal_kernel
+
+    def compact_kernel(compact_network, max_rounds):
+        return proposal_kernel(
+            compact_network, max_rounds, tie_break=tie_break, seed=seed
+        )
+
     return AlgorithmFactory(
-        lambda node_id: ProposalNode(node_id, tie_break=tie_break, seed=seed)
+        lambda node_id: ProposalNode(node_id, tie_break=tie_break, seed=seed),
+        compact_kernel=compact_kernel,
     )
 
 
@@ -274,6 +293,7 @@ def run_proposal_algorithm(
     seed: int = 0,
     max_rounds: Optional[int] = None,
     trace: Optional[ExecutionTrace] = None,
+    backend: Optional[str] = None,
 ) -> TokenDroppingSolution:
     """Solve a token dropping instance with the distributed proposal algorithm.
 
@@ -289,7 +309,13 @@ def run_proposal_algorithm(
         :meth:`TokenDroppingInstance.theoretical_round_bound`, so exceeding
         the theorem's bound fails loudly.
     trace:
-        Optional execution trace for inspection.
+        Optional execution trace for inspection (always runs on the
+        reference scheduler).
+    backend:
+        Execution backend per :mod:`repro.dispatch`: ``"compact"`` forces
+        the int-array round kernel, ``"dict"`` the reference per-node
+        scheduler, and the default (``None``/``"auto"``) prefers the
+        kernel.  Both produce identical solutions and metrics.
 
     Returns
     -------
@@ -305,5 +331,6 @@ def run_proposal_algorithm(
         proposal_factory(tie_break=tie_break, seed=seed),
         max_rounds=max_rounds,
         trace=trace,
+        backend=backend,
     ).run()
     return reconstruct_solution(instance, result)

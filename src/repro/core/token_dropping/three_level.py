@@ -237,9 +237,27 @@ class ThreeLevelNode(NodeAlgorithm):
 
 
 def three_level_factory(tie_break: str = "min", seed: int = 0) -> AlgorithmFactory:
-    """An :class:`AlgorithmFactory` for :class:`ThreeLevelNode`."""
+    """An :class:`AlgorithmFactory` for :class:`ThreeLevelNode`.
+
+    Registers the int-array fast path
+    (:func:`repro.core.token_dropping._kernels.three_level_kernel`) so the
+    :class:`Runner` can dispatch to the compact round engine per
+    :mod:`repro.dispatch`.
+    """
+    if tie_break not in TIE_BREAK_POLICIES:
+        raise ValueError(
+            f"unknown tie-break policy {tie_break!r}; expected one of {TIE_BREAK_POLICIES}"
+        )
+    from repro.core.token_dropping._kernels import three_level_kernel
+
+    def compact_kernel(compact_network, max_rounds):
+        return three_level_kernel(
+            compact_network, max_rounds, tie_break=tie_break, seed=seed
+        )
+
     return AlgorithmFactory(
-        lambda node_id: ThreeLevelNode(node_id, tie_break=tie_break, seed=seed)
+        lambda node_id: ThreeLevelNode(node_id, tie_break=tie_break, seed=seed),
+        compact_kernel=compact_kernel,
     )
 
 
@@ -255,8 +273,13 @@ def run_three_level_algorithm(
     seed: int = 0,
     max_rounds: Optional[int] = None,
     trace: Optional[ExecutionTrace] = None,
+    backend: Optional[str] = None,
 ) -> TokenDroppingSolution:
     """Solve a height-≤-2 (three-level) token dropping instance in O(Δ) rounds.
+
+    ``backend`` selects the execution path per :mod:`repro.dispatch`
+    (compact int-array kernel vs. reference scheduler); both produce
+    identical solutions and metrics.
 
     Raises
     ------
@@ -277,6 +300,7 @@ def run_three_level_algorithm(
         three_level_factory(tie_break=tie_break, seed=seed),
         max_rounds=max_rounds,
         trace=trace,
+        backend=backend,
     ).run()
     solution = reconstruct_solution(instance, result)
     return solution

@@ -39,7 +39,7 @@ class Network:
         server").  Nodes without an entry receive ``None``.
     """
 
-    __slots__ = ("_adjacency", "_local_inputs", "_edges")
+    __slots__ = ("_adjacency", "_local_inputs", "_edges", "_compact_cache")
 
     def __init__(
         self,
@@ -107,6 +107,42 @@ class Network:
     ) -> "Network":
         """Build a network whose node set is implied by ``edges``."""
         return cls(nodes=(), edges=edges, local_inputs=local_inputs)
+
+    @classmethod
+    def from_validated_adjacency(
+        cls,
+        adjacency: Mapping[NodeId, FrozenSet[NodeId]],
+        edges: Iterable[Edge],
+        local_inputs: Mapping[NodeId, Any] | None = None,
+    ) -> "Network":
+        """Build a network from pre-validated adjacency data (trusted path).
+
+        Skips the per-edge simple-graph validation of ``__init__`` — the
+        caller guarantees ``adjacency`` is symmetric, loop-free, and
+        consistent with ``edges``.  Structures that already maintain these
+        invariants (:class:`~repro.graphs.layered.LayeredGraph` via
+        :meth:`TokenDroppingInstance.to_network`) use this to convert in a
+        single O(n + m) pass instead of re-deriving adjacency sets edge by
+        edge.
+        """
+        network = cls.__new__(cls)
+        network._adjacency = {
+            node: (
+                neighbors
+                if isinstance(neighbors, frozenset)
+                else frozenset(neighbors)
+            )
+            for node, neighbors in adjacency.items()
+        }
+        network._edges = frozenset(frozenset(edge) for edge in edges)
+        inputs = dict(local_inputs or {})
+        unknown = set(inputs) - set(network._adjacency)
+        if unknown:
+            raise TopologyError(
+                f"local inputs given for unknown node(s): {sorted(map(repr, unknown))}"
+            )
+        network._local_inputs = inputs
+        return network
 
     # ------------------------------------------------------------------
     # Queries

@@ -154,9 +154,25 @@ class AlgorithmFactory:
     ``(node_id) -> NodeAlgorithm``.  Keeping this explicit allows
     algorithms to be parameterised (e.g. with tie-breaking policies)
     without resorting to globals.
+
+    Parameters
+    ----------
+    factory:
+        The per-node algorithm constructor.
+    compact_kernel:
+        Optional int-array fast path for the *whole execution*: a callable
+        ``(compact_network, max_rounds) -> (outputs, metrics)`` where
+        ``outputs`` is a list indexed by dense node id and ``metrics`` an
+        :class:`~repro.local_model.metrics.ExecutionMetrics`.  A kernel
+        promises to reproduce the reference scheduler's execution exactly
+        (same outputs, same round count, same message count, same halt
+        rounds); the :class:`~repro.local_model.runner.Runner` dispatches
+        to it per :mod:`repro.dispatch` and falls back to the reference
+        scheduler for algorithms that register no kernel.
     """
 
-    def __init__(self, factory: Any) -> None:
+    def __init__(self, factory: Any, compact_kernel: Any = None) -> None:
+        self.compact_kernel = compact_kernel
         if isinstance(factory, type) and issubclass(factory, NodeAlgorithm):
             self._factory = lambda node_id: factory()
         elif callable(factory):

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Optional
 
+from repro.dispatch import BackendError, resolve_backend
+from repro.local_model.compact import CompactNetwork
 from repro.local_model.errors import RoundLimitExceeded
 from repro.local_model.metrics import ExecutionMetrics
 from repro.local_model.network import Network
@@ -76,6 +78,17 @@ class Runner:
         bound itself into a checked invariant.
     trace:
         Optional :class:`ExecutionTrace` to record messages and halts.
+        Tracing records every individual message, so it always runs on the
+        reference scheduler.
+    backend:
+        Per-execution backend override (see :mod:`repro.dispatch`).  With
+        the default (``None``), the ``REPRO_BACKEND`` environment variable
+        and then the auto rule apply: algorithms whose factory registers a
+        ``compact_kernel`` run the int-array fast path, everything else
+        runs the reference scheduler.  ``backend="dict"`` forces the
+        reference scheduler; ``backend="compact"`` forces the kernel and
+        raises :class:`~repro.dispatch.BackendError` when none is
+        registered (or when a trace is requested).
     """
 
     def __init__(
@@ -85,6 +98,7 @@ class Runner:
         *,
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         trace: Optional[ExecutionTrace] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if max_rounds < 0:
             raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
@@ -94,6 +108,7 @@ class Runner:
         )
         self.max_rounds = max_rounds
         self.trace = trace
+        self.backend = backend
 
     def run(self) -> ExecutionResult:
         """Execute the algorithm until every node halts.
@@ -108,6 +123,43 @@ class Runner:
         RoundLimitExceeded
             If some node is still active after ``max_rounds`` rounds.
         """
+        kernel = getattr(self.factory, "compact_kernel", None)
+        fast_possible = kernel is not None and self.trace is None
+        if self.backend is not None:
+            choice = resolve_backend(
+                self.backend, auto="compact" if fast_possible else "dict"
+            )
+            if choice == "compact":
+                if kernel is None:
+                    raise BackendError(
+                        "backend='compact' requested but the algorithm registers "
+                        "no compact kernel"
+                    )
+                if self.trace is not None:
+                    raise BackendError(
+                        "tracing records individual messages and requires the "
+                        "reference scheduler; drop the trace or use backend='dict'"
+                    )
+                return self._run_compact(kernel)
+        elif fast_possible and resolve_backend(None, auto="compact") == "compact":
+            # No per-call override: the environment/auto rule applies, but
+            # only algorithms with a registered kernel have a fast path —
+            # a global REPRO_BACKEND=compact must not break the rest.
+            return self._run_compact(kernel)
+        return self._run_reference()
+
+    def _run_compact(self, kernel: Any) -> ExecutionResult:
+        """Fast path: intern the network once and run the int-array kernel."""
+        compact = CompactNetwork.of(self.network)
+        dense_outputs, metrics = kernel(compact, self.max_rounds)
+        metrics.terminated = True
+        outputs = {
+            compact.node_ids[i]: output for i, output in enumerate(dense_outputs)
+        }
+        return ExecutionResult(outputs=outputs, metrics=metrics, trace=None)
+
+    def _run_reference(self) -> ExecutionResult:
+        """Reference path: the per-node state-machine scheduler."""
         scheduler = SynchronousScheduler(self.network, self.factory, trace=self.trace)
         scheduler.start()
         while not scheduler.all_halted():

@@ -11,6 +11,7 @@ from repro.workloads.scenarios import (
     random_token_dropping,
     regular_orientation,
     sensor_network_orientation,
+    token_dropping_smoke,
     two_cliques_bottleneck,
     uniform_assignment,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "random_token_dropping",
     "regular_orientation",
     "sensor_network_orientation",
+    "token_dropping_smoke",
     "two_cliques_bottleneck",
     "uniform_assignment",
 ]

@@ -1,0 +1,61 @@
+"""The --top-slowest hot-spot report of scripts/run_experiments.py."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+from repro.engine.results import TaskResult
+
+SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "run_experiments.py"
+spec = importlib.util.spec_from_file_location("run_experiments", SCRIPT)
+run_experiments = importlib.util.module_from_spec(spec)
+# dataclass decorators resolve their module through sys.modules at class
+# creation time, so the script must be registered before execution.
+sys.modules[spec.name] = run_experiments
+spec.loader.exec_module(run_experiments)
+
+
+def result(experiment, elapsed, seed=0, cached=False, **params):
+    return TaskResult(
+        experiment=experiment,
+        params=params,
+        seed=seed,
+        values={},
+        elapsed_seconds=elapsed,
+        task_hash=f"{experiment}-{elapsed}",
+        cached=cached,
+    )
+
+
+def test_report_lists_slowest_first(capsys):
+    opts = run_experiments.EngineOptions()
+    opts.collected = [
+        result("E1", 0.5, delta=2),
+        result("E3", 2.5, delta=8),
+        result("E1", 1.25, delta=4, cached=True),
+        result("E8", 0.01, skew=1.0),
+    ]
+    run_experiments.report_top_slowest(opts, 2)
+    out = capsys.readouterr().out
+    assert "Top 2 slowest tasks" in out
+    lines = [line for line in out.splitlines() if line.startswith("| E")]
+    assert lines[0].startswith("| E3 | delta=8 | 0 | 2.500 | run |")
+    assert lines[1].startswith("| E1 | delta=4 | 0 | 1.250 | cache |")
+    assert "E8" not in out
+
+
+def test_report_disabled_or_empty_prints_nothing(capsys):
+    opts = run_experiments.EngineOptions()
+    run_experiments.report_top_slowest(opts, 5)
+    opts.collected = [result("E1", 1.0)]
+    run_experiments.report_top_slowest(opts, 0)
+    assert capsys.readouterr().out == ""
+
+
+def test_cli_exposes_top_slowest_flag():
+    parser = run_experiments.build_parser()
+    args = parser.parse_args(["--top-slowest", "7"])
+    assert args.top_slowest == 7
+    assert parser.parse_args([]).top_slowest == 0

@@ -3,16 +3,25 @@
 The dispatch contract (:mod:`repro.dispatch`) promises that both backends
 of every dispatched entry point produce *identical* results — same final
 solution, same statistics, same tie-breaking — not merely equally-good
-ones.  This suite enforces that promise on 200+ seeded random instances
+ones.  This suite enforces that promise on 400+ seeded random instances
 spanning every kernel and every policy:
 
 * sequential flip orientation: 4 instance families x 20 seeds, policies
   rotated per seed (80 instances);
 * best-response assignment dynamics: 2 families x 35 seeds, both
   policies exercised (70 instances);
-* greedy semi-matching assignment: 50 instances, both orders.
+* greedy semi-matching assignment: 50 instances, both orders;
+* token dropping — proposal algorithm: 3 layered-DAG families x 25
+  seeds, tie-break policies rotated (75 executions, full-solution and
+  Runner-metrics equality);
+* token dropping — three-level algorithm: 30 seeded games across
+  degrees, tie-break policies rotated;
+* token dropping — centralized greedy baseline: 25 seeds x all 4 move
+  orders (100 executions);
+* token dropping edge cases: mixed-type node ids, tokenless, empty, and
+  single-node games on every kernel.
 
-Seeds are grouped into chunks of 10 per pytest case to keep collection
+Seeds are grouped into chunks per pytest case to keep collection
 overhead low while preserving per-chunk failure granularity.
 """
 
@@ -26,10 +35,24 @@ from repro.core.orientation import (
     OrientationProblem,
     sequential_flip_algorithm,
 )
+from repro.core.token_dropping import (
+    GREEDY_ORDERS,
+    TIE_BREAK_POLICIES,
+    TokenDroppingInstance,
+    greedy_token_dropping,
+    run_proposal_algorithm,
+    run_three_level_algorithm,
+)
+from repro.core.token_dropping.proposal import proposal_factory
+from repro.core.token_dropping.three_level import three_level_factory
 from repro.graphs.generators import bounded_degree_gnp
+from repro.graphs.layered import LayeredGraph
+from repro.local_model import Runner
 from repro.workloads import (
+    bounded_degree_token_dropping,
     datacenter_assignment,
     layered_dag_orientation,
+    random_token_dropping,
     regular_orientation,
     sensor_network_orientation,
     uniform_assignment,
@@ -139,6 +162,187 @@ class TestGreedyAgrees:
                 )
                 assert ref.choices() == fast.choices(), (seed, order)
                 assert ref.loads() == fast.loads(), (seed, order)
+
+
+def _token_dropping_instance(family: str, seed: int) -> TokenDroppingInstance:
+    if family == "wide":
+        return random_token_dropping(
+            num_levels=4, width=8, edge_probability=0.4, token_fraction=0.6, seed=seed
+        )
+    if family == "tall":
+        return random_token_dropping(
+            num_levels=8, width=4, edge_probability=0.5, token_fraction=0.5, seed=seed
+        )
+    return bounded_degree_token_dropping(num_levels=5, degree=4, seed=seed)
+
+
+def _mixed_type_instance() -> TokenDroppingInstance:
+    """Int, str, and tuple node ids in one game (repr-order tie-breaks)."""
+    levels = {1: 0, "one": 0, (2, "a"): 1, 10: 1, "top": 2, 3: 2}
+    edges = [
+        (1, (2, "a")),
+        ("one", (2, "a")),
+        (1, 10),
+        ((2, "a"), "top"),
+        (10, 3),
+        ((2, "a"), 3),
+    ]
+    graph = LayeredGraph(levels=levels, edges=edges)
+    return TokenDroppingInstance(graph, frozenset({(2, "a"), "top", 3, 10}))
+
+
+class TestProposalAlgorithmAgrees:
+    """75 layered games; the tie-break policy rotates with the seed."""
+
+    @pytest.mark.parametrize("family", ["wide", "tall", "bounded"])
+    @pytest.mark.parametrize(
+        "seeds", [range(0, 10), range(10, 25)], ids=["s0-9", "s10-24"]
+    )
+    def test_identical_solutions(self, family, seeds):
+        for seed in seeds:
+            instance = _token_dropping_instance(family, seed)
+            tie_break = TIE_BREAK_POLICIES[seed % len(TIE_BREAK_POLICIES)]
+            ref = run_proposal_algorithm(
+                instance, tie_break=tie_break, seed=seed, backend="dict"
+            )
+            fast = run_proposal_algorithm(
+                instance, tie_break=tie_break, seed=seed, backend="compact"
+            )
+            context = (family, seed, tie_break)
+            # Solution equality covers final placements, used edges, pass
+            # histories, and both round counters.
+            assert ref == fast, context
+            assert fast.validate(instance).valid, context
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_identical_runner_metrics(self, seed):
+        """Full ExecutionMetrics equality: rounds, messages, halt rounds."""
+        instance = _token_dropping_instance("wide", seed)
+        network = instance.to_network()
+        budget = 3 * instance.theoretical_round_bound()
+        ref = Runner(
+            network, proposal_factory("min", seed), max_rounds=budget, backend="dict"
+        ).run()
+        fast = Runner(
+            network, proposal_factory("min", seed), max_rounds=budget, backend="compact"
+        ).run()
+        assert ref.outputs == fast.outputs, seed
+        assert ref.metrics == fast.metrics, seed
+
+
+class TestThreeLevelAlgorithmAgrees:
+    """30 three-level games across degrees and tie-break policies."""
+
+    @pytest.mark.parametrize(
+        "seeds", [range(0, 10), range(10, 20), range(20, 30)],
+        ids=["s0-9", "s10-19", "s20-29"],
+    )
+    def test_identical_solutions(self, seeds):
+        for seed in seeds:
+            degree = (3, 5, 7)[seed % 3]
+            instance = bounded_degree_token_dropping(
+                num_levels=3, degree=degree, seed=seed
+            )
+            tie_break = TIE_BREAK_POLICIES[seed % len(TIE_BREAK_POLICIES)]
+            ref = run_three_level_algorithm(
+                instance, tie_break=tie_break, seed=seed, backend="dict"
+            )
+            fast = run_three_level_algorithm(
+                instance, tie_break=tie_break, seed=seed, backend="compact"
+            )
+            context = (seed, degree, tie_break)
+            assert ref == fast, context
+            assert fast.validate(instance).valid, context
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_identical_runner_metrics(self, seed):
+        instance = bounded_degree_token_dropping(num_levels=3, degree=5, seed=seed)
+        network = instance.to_network(include_levels=True)
+        ref = Runner(
+            network, three_level_factory("min", seed), max_rounds=1000, backend="dict"
+        ).run()
+        fast = Runner(
+            network, three_level_factory("min", seed), max_rounds=1000, backend="compact"
+        ).run()
+        assert ref.outputs == fast.outputs, seed
+        assert ref.metrics == fast.metrics, seed
+
+
+class TestGreedyTokenDroppingAgrees:
+    """25 games x all 4 centralized move orders (100 executions)."""
+
+    @pytest.mark.parametrize(
+        "seeds", [range(0, 10), range(10, 25)], ids=["s0-9", "s10-24"]
+    )
+    def test_identical_solutions(self, seeds):
+        for seed in seeds:
+            instance = random_token_dropping(
+                num_levels=5,
+                width=7,
+                edge_probability=0.4,
+                token_fraction=0.6,
+                seed=seed,
+            )
+            for order in GREEDY_ORDERS:
+                ref = greedy_token_dropping(
+                    instance, order=order, seed=seed, backend="dict"
+                )
+                fast = greedy_token_dropping(
+                    instance, order=order, seed=seed, backend="compact"
+                )
+                assert ref == fast, (seed, order)
+                assert fast.validate(instance).valid, (seed, order)
+
+
+class TestTokenDroppingEdgeCases:
+    """Degenerate and mixed-type games on every kernel."""
+
+    def test_mixed_type_node_ids_agree(self):
+        instance = _mixed_type_instance()
+        for tie_break in TIE_BREAK_POLICIES:
+            assert run_proposal_algorithm(
+                instance, tie_break=tie_break, seed=3, backend="dict"
+            ) == run_proposal_algorithm(
+                instance, tie_break=tie_break, seed=3, backend="compact"
+            ), tie_break
+            assert run_three_level_algorithm(
+                instance, tie_break=tie_break, seed=3, backend="dict"
+            ) == run_three_level_algorithm(
+                instance, tie_break=tie_break, seed=3, backend="compact"
+            ), tie_break
+        for order in GREEDY_ORDERS:
+            assert greedy_token_dropping(
+                instance, order=order, seed=5, backend="dict"
+            ) == greedy_token_dropping(
+                instance, order=order, seed=5, backend="compact"
+            ), order
+
+    def test_tokenless_game_agrees(self):
+        graph = LayeredGraph(
+            levels={"a": 0, "b": 0, "c": 1, "d": 2},
+            edges=[("a", "c"), ("b", "c"), ("c", "d")],
+        )
+        instance = TokenDroppingInstance(graph, frozenset())
+        assert run_proposal_algorithm(
+            instance, backend="dict"
+        ) == run_proposal_algorithm(instance, backend="compact")
+        assert greedy_token_dropping(
+            instance, backend="dict"
+        ) == greedy_token_dropping(instance, backend="compact")
+
+    def test_empty_and_single_node_games_agree(self):
+        empty = TokenDroppingInstance(LayeredGraph(levels={}), frozenset())
+        lonely = TokenDroppingInstance(
+            LayeredGraph(levels={"x": 0}), frozenset({"x"})
+        )
+        for instance in (empty, lonely):
+            ref = run_proposal_algorithm(instance, backend="dict")
+            fast = run_proposal_algorithm(instance, backend="compact")
+            assert ref == fast
+            assert ref.communication_rounds == 0
+            assert greedy_token_dropping(
+                instance, backend="dict"
+            ) == greedy_token_dropping(instance, backend="compact")
 
 
 class TestCompactInstancesMatchReferenceInstances:

@@ -1,0 +1,67 @@
+"""Regression guards for the single-pass ``to_network`` conversion."""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.token_dropping.game import (
+    LOCAL_CHILDREN,
+    LOCAL_HAS_TOKEN,
+    LOCAL_PARENTS,
+    TokenDroppingInstance,
+)
+from repro.graphs.layered import LayeredGraph
+
+#: Generous wall-time budget for converting the 62,500-edge instance
+#: below; the single-pass conversion runs in a fraction of this even on
+#: slow CI machines, while a per-node edge-list rescan blows through it.
+CONVERSION_BUDGET_SECONDS = 5.0
+
+
+def dense_two_level_instance(width: int = 250) -> TokenDroppingInstance:
+    """A complete two-level game: ``width²`` edges without any rng cost."""
+    levels = {}
+    for index in range(width):
+        levels[(0, index)] = 0
+        levels[(1, index)] = 1
+    edges = [
+        ((0, low), (1, high)) for low in range(width) for high in range(width)
+    ]
+    graph = LayeredGraph(levels=levels, edges=edges)
+    tokens = frozenset((1, index) for index in range(0, width, 2))
+    return TokenDroppingInstance(graph, tokens)
+
+
+def test_50k_edge_conversion_stays_single_pass():
+    instance = dense_two_level_instance()
+    assert instance.graph.num_edges() == 62_500
+    start = time.perf_counter()
+    network = instance.to_network()
+    elapsed = time.perf_counter() - start
+    assert elapsed < CONVERSION_BUDGET_SECONDS, (
+        f"to_network took {elapsed:.2f}s on a 62,500-edge instance; the "
+        "conversion must stay a single O(n+m) adjacency pass"
+    )
+    assert len(network) == 500
+    assert network.num_edges() == 62_500
+
+
+def test_converted_local_inputs_match_graph_structure():
+    instance = dense_two_level_instance(width=7)
+    network = instance.to_network()
+    graph = instance.graph
+    for node in graph.nodes:
+        local = network.local_input(node)
+        assert local[LOCAL_HAS_TOKEN] == (node in instance.tokens)
+        assert local[LOCAL_PARENTS] == graph.parents(node)
+        assert local[LOCAL_CHILDREN] == graph.children(node)
+        assert network.neighbors(node) == graph.parents(node) | graph.children(node)
+
+
+def test_to_network_is_memoized_per_include_levels():
+    instance = dense_two_level_instance(width=5)
+    plain = instance.to_network()
+    assert instance.to_network() is plain
+    levelled = instance.to_network(include_levels=True)
+    assert levelled is not plain
+    assert instance.to_network(include_levels=True) is levelled
