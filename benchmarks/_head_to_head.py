@@ -1,0 +1,60 @@
+"""Shared helpers for the compact-vs-dict head-to-head benchmarks.
+
+``benchmarks/`` is not a package; pytest puts this directory on
+``sys.path`` when collecting the ``bench_*.py`` modules, so they import
+these helpers as a plain top-level module (``from _head_to_head import
+...``).  Keeping one copy here means the timing and recording logic —
+including the speedup floors and the smoke-mode skip — cannot drift
+between suites.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+
+def median_time(fn, rounds: int):
+    """Median wall time of ``fn`` over ``rounds`` runs, plus the last result."""
+    times = []
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times), result
+
+
+def compact_median(benchmark):
+    """Median seconds pytest-benchmark measured, or None when disabled."""
+    stats = getattr(benchmark, "stats", None)
+    return stats.stats.median if stats is not None else None
+
+
+def record_head_to_head(
+    record_rows,
+    benchmark,
+    *,
+    scenario: str,
+    dict_median: float,
+    required_speedup: float,
+    smoke: bool,
+    extra: dict,
+):
+    """Record one head-to-head row and enforce its speedup floor.
+
+    The row always carries the dict median; the speedup and its floor
+    assertion only apply when pytest-benchmark actually timed the compact
+    path and the suite is not running in smoke mode (tiny instances are
+    dominated by constant overheads).
+    """
+    measured = compact_median(benchmark)
+    row = dict(scenario=scenario, dict_median_seconds=dict_median, **extra)
+    if measured:
+        row["speedup"] = dict_median / measured
+    record_rows(**row)
+    if measured and not smoke:
+        assert row["speedup"] >= required_speedup, (
+            f"{scenario}: compact path is only {row['speedup']:.2f}x faster "
+            f"(median {measured:.4f}s vs dict {dict_median:.4f}s)"
+        )

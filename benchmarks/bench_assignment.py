@@ -20,7 +20,11 @@ from repro.core.assignment import (
     theoretical_phase_bound,
     theoretical_round_bound,
 )
-from repro.workloads import datacenter_assignment, hard_matching_bipartite, uniform_assignment
+from repro.workloads import (
+    datacenter_assignment,
+    hard_matching_bipartite,
+    uniform_assignment,
+)
 
 C_SWEEP = [2, 3, 4, 6]
 S_SCALE = [10, 20, 40]
@@ -31,7 +35,11 @@ S_SCALE = [10, 20, 40]
 def test_assignment_rounds_vs_customer_degree(benchmark, record_rows, replicas):
     """Rounds of the Theorem 7.3 algorithm as the customer degree C grows."""
     graph = datacenter_assignment(
-        num_jobs=150, num_servers=30, replicas=replicas, popularity_skew=1.0, seed=replicas
+        num_jobs=150,
+        num_servers=30,
+        replicas=replicas,
+        popularity_skew=1.0,
+        seed=replicas,
     )
     result = benchmark(lambda: run_stable_assignment(graph, seed=replicas))
     assert result.stable

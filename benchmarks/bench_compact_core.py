@@ -23,10 +23,9 @@ sampled instance:
 from __future__ import annotations
 
 import os
-import statistics
-import time
 
 import pytest
+from _head_to_head import compact_median, median_time, record_head_to_head
 
 from repro.core.assignment import best_response_dynamics, greedy_assignment
 from repro.core.orientation import sequential_flip_algorithm
@@ -52,36 +51,6 @@ else:
     REFERENCE_ROUNDS = 3
 
 
-def _median_time(fn, rounds: int):
-    """Median wall time of ``fn`` over ``rounds`` runs, plus the last result."""
-    times = []
-    result = None
-    for _ in range(rounds):
-        start = time.perf_counter()
-        result = fn()
-        times.append(time.perf_counter() - start)
-    return statistics.median(times), result
-
-
-def _compact_median(benchmark):
-    """Median seconds pytest-benchmark measured, or None when disabled."""
-    stats = getattr(benchmark, "stats", None)
-    return stats.stats.median if stats is not None else None
-
-
-def _record_head_to_head(record_rows, benchmark, *, scenario, dict_median, extra):
-    compact_median = _compact_median(benchmark)
-    row = dict(scenario=scenario, dict_median_seconds=dict_median, **extra)
-    if compact_median:
-        row["speedup"] = dict_median / compact_median
-    record_rows(**row)
-    if compact_median and not SMOKE:
-        assert row["speedup"] >= REQUIRED_SPEEDUP, (
-            f"{scenario}: compact kernel is only {row['speedup']:.2f}x faster "
-            f"(median {compact_median:.4f}s vs dict {dict_median:.4f}s)"
-        )
-
-
 @pytest.mark.experiment("compact-core")
 def test_sequential_flips_on_layered_dag(benchmark, record_rows):
     """E1 layered-DAG orientation: int-array flip kernel vs. dict loop."""
@@ -89,7 +58,7 @@ def test_sequential_flips_on_layered_dag(benchmark, record_rows):
     compact_problem = layered_dag_orientation(**LAYERED_PARAMS, compact=True)
 
     fast, fast_stats = benchmark(lambda: sequential_flip_algorithm(compact_problem))
-    dict_median, (ref, ref_stats) = _median_time(
+    dict_median, (ref, ref_stats) = median_time(
         lambda: sequential_flip_algorithm(reference_problem, backend="dict"),
         REFERENCE_ROUNDS,
     )
@@ -98,11 +67,13 @@ def test_sequential_flips_on_layered_dag(benchmark, record_rows):
     assert ref.loads() == fast.loads()
     assert ref_stats == fast_stats
     assert fast.is_stable()
-    _record_head_to_head(
+    record_head_to_head(
         record_rows,
         benchmark,
         scenario="layered_dag_sequential_flips",
         dict_median=dict_median,
+        required_speedup=REQUIRED_SPEEDUP,
+        smoke=SMOKE,
         extra=dict(
             nodes=len(compact_problem.node_ids),
             edges=compact_problem.num_edges,
@@ -118,7 +89,7 @@ def test_best_response_on_datacenter(benchmark, record_rows):
     compact_graph = datacenter_assignment(**DATACENTER_PARAMS, compact=True)
 
     fast, fast_stats = benchmark(lambda: best_response_dynamics(compact_graph))
-    dict_median, (ref, ref_stats) = _median_time(
+    dict_median, (ref, ref_stats) = median_time(
         lambda: best_response_dynamics(reference_graph, backend="dict"),
         REFERENCE_ROUNDS,
     )
@@ -127,11 +98,13 @@ def test_best_response_on_datacenter(benchmark, record_rows):
     assert ref.loads() == fast.loads()
     assert ref_stats == fast_stats
     assert fast.is_stable()
-    _record_head_to_head(
+    record_head_to_head(
         record_rows,
         benchmark,
         scenario="datacenter_best_response",
         dict_median=dict_median,
+        required_speedup=REQUIRED_SPEEDUP,
+        smoke=SMOKE,
         extra=dict(
             jobs=compact_graph.num_customers,
             servers=compact_graph.num_servers,
@@ -152,23 +125,19 @@ def test_greedy_semi_matching_on_datacenter(benchmark, record_rows):
     compact_graph = datacenter_assignment(**DATACENTER_PARAMS, compact=True)
 
     fast = benchmark(lambda: greedy_assignment(compact_graph))
-    dict_median, ref = _median_time(
+    dict_median, ref = median_time(
         lambda: greedy_assignment(reference_graph, backend="dict"),
         REFERENCE_ROUNDS,
     )
 
     assert ref.choices() == fast.choices()
     assert ref.semi_matching_cost() == fast.semi_matching_cost()
-    compact_median = _compact_median(benchmark)
+    measured = compact_median(benchmark)
     record_rows(
         scenario="datacenter_greedy_semi_matching",
         dict_median_seconds=dict_median,
         cost=fast.semi_matching_cost(),
-        **(
-            {"speedup": dict_median / compact_median}
-            if compact_median
-            else {}
-        ),
+        **({"speedup": dict_median / measured} if measured else {}),
     )
 
 

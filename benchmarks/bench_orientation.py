@@ -8,13 +8,34 @@ standing in for the prior O(Δ⁵)-style approach.
 E9 (Section 1.1): the centralized sequential flip algorithm's flip-chain
 length on the same instances (the quantity the distributed algorithms
 avoid paying sequentially).
+
+Compact head-to-heads
+---------------------
+The full orientation pipeline (phase algorithm, repair baseline,
+k-bounded relaxation) is additionally timed on both backends on one E1
+layered-DAG instance at 10,000 nodes; the results are asserted identical
+before any timing is trusted, and the compact medians (with the measured
+dict medians and speedups) land in ``BENCH_orientation.json``.  The
+phase-based and k-bounded drivers must stay at least 10x faster than the
+dict chain; the repair baseline shares its seeded ``shuffle`` replay with
+the reference bit for bit (an irreducible common cost), so its floor is
+kept looser even though the recorded speedup is ~10x.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the head-to-head instances to CI size and
+skips the speedup assertions; the agreement checks always run.  The fixed
+``orientation_smoke`` scenario backs the CI perf-regression gate
+(``scripts/check_bench_regression.py``).
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from _head_to_head import median_time, record_head_to_head
 
 from repro.core.orientation import (
+    run_bounded_stable_orientation,
     run_stable_orientation,
     sequential_flip_algorithm,
     synchronous_repair_orientation,
@@ -23,13 +44,30 @@ from repro.core.orientation import (
 )
 from repro.workloads import (
     caterpillar_orientation,
+    layered_dag_orientation,
     long_path_orientation,
+    orientation_smoke,
     regular_orientation,
     sensor_network_orientation,
     two_cliques_bottleneck,
 )
 
 DELTA_SWEEP = [3, 4, 6, 8, 10]
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+#: Minimum median speedup of the compact phase/bounded drivers at scale.
+REQUIRED_PIPELINE_SPEEDUP = 10.0
+#: Looser floor for the repair baseline (see the module docstring).
+REQUIRED_REPAIR_SPEEDUP = 6.0
+
+if SMOKE:
+    HEAD_TO_HEAD_PARAMS = dict(num_levels=8, width=10, edge_probability=0.3, seed=2)
+    REFERENCE_ROUNDS = 1
+else:
+    # 50 x 200 = 10,000 nodes of the E1 layered-DAG family.
+    HEAD_TO_HEAD_PARAMS = dict(num_levels=50, width=200, edge_probability=0.02, seed=2)
+    REFERENCE_ROUNDS = 3
 
 
 def named_instances():
@@ -135,4 +173,145 @@ def test_tie_break_ablation(benchmark, record_rows, tie_break):
         tie_break=tie_break,
         phases=result.phases,
         game_rounds=result.game_rounds,
+    )
+
+
+# ----------------------------------------------------------------------
+# Compact-vs-dict head-to-heads (full pipeline, n = 10,000)
+# ----------------------------------------------------------------------
+@pytest.mark.experiment("compact-orientation")
+def test_stable_orientation_head_to_head(benchmark, record_rows):
+    """Phase-based stable orientation: compact phase driver vs. dict chain."""
+    reference_problem = layered_dag_orientation(**HEAD_TO_HEAD_PARAMS)
+    compact_problem = layered_dag_orientation(**HEAD_TO_HEAD_PARAMS, compact=True)
+
+    fast = benchmark(lambda: run_stable_orientation(compact_problem))
+    dict_median, ref = median_time(
+        lambda: run_stable_orientation(reference_problem, backend="dict"),
+        REFERENCE_ROUNDS,
+    )
+
+    assert ref.orientation.oriented_edges() == fast.orientation.oriented_edges()
+    assert ref.orientation.loads() == fast.orientation.loads()
+    assert ref.per_phase == fast.per_phase
+    assert (ref.phases, ref.game_rounds, ref.communication_rounds) == (
+        fast.phases,
+        fast.game_rounds,
+        fast.communication_rounds,
+    )
+    assert fast.stable
+    record_head_to_head(
+        record_rows,
+        benchmark,
+        scenario="layered_dag_stable_orientation",
+        dict_median=dict_median,
+        smoke=SMOKE,
+        required_speedup=REQUIRED_PIPELINE_SPEEDUP,
+        extra=dict(
+            nodes=len(compact_problem.node_ids),
+            edges=compact_problem.num_edges,
+            phases=fast.phases,
+            game_rounds=fast.game_rounds,
+        ),
+    )
+
+
+@pytest.mark.experiment("compact-orientation")
+def test_repair_head_to_head(benchmark, record_rows):
+    """Synchronous repair baseline: int-array kernel vs. dict loop."""
+    reference_problem = layered_dag_orientation(**HEAD_TO_HEAD_PARAMS)
+    compact_problem = layered_dag_orientation(**HEAD_TO_HEAD_PARAMS, compact=True)
+
+    fast, fast_stats = benchmark(
+        lambda: synchronous_repair_orientation(compact_problem, seed=2)
+    )
+    dict_median, (ref, ref_stats) = median_time(
+        lambda: synchronous_repair_orientation(
+            reference_problem, seed=2, backend="dict"
+        ),
+        REFERENCE_ROUNDS,
+    )
+
+    assert ref.oriented_edges() == fast.oriented_edges()
+    assert ref.loads() == fast.loads()
+    assert ref_stats == fast_stats
+    assert fast.is_stable()
+    record_head_to_head(
+        record_rows,
+        benchmark,
+        scenario="layered_dag_repair",
+        dict_median=dict_median,
+        smoke=SMOKE,
+        required_speedup=REQUIRED_REPAIR_SPEEDUP,
+        extra=dict(
+            nodes=len(compact_problem.node_ids),
+            edges=compact_problem.num_edges,
+            iterations=fast_stats.iterations,
+            flips=fast_stats.total_flips,
+        ),
+    )
+
+
+@pytest.mark.experiment("compact-orientation")
+def test_bounded_orientation_head_to_head(benchmark, record_rows):
+    """k-bounded stable orientation: edge-customer kernel vs. dict chain."""
+    reference_problem = layered_dag_orientation(**HEAD_TO_HEAD_PARAMS)
+    compact_problem = layered_dag_orientation(**HEAD_TO_HEAD_PARAMS, compact=True)
+
+    fast = benchmark(lambda: run_bounded_stable_orientation(compact_problem, seed=2))
+    dict_median, ref = median_time(
+        lambda: run_bounded_stable_orientation(
+            reference_problem, seed=2, backend="dict"
+        ),
+        REFERENCE_ROUNDS,
+    )
+
+    assert ref.orientation.oriented_edges() == fast.orientation.oriented_edges()
+    assert ref.orientation.loads() == fast.orientation.loads()
+    assert (ref.phases, ref.game_rounds) == (fast.phases, fast.game_rounds)
+    assert ref.assignment_result.per_phase == fast.assignment_result.per_phase
+    assert (
+        ref.assignment_result.assignment.choices()
+        == fast.assignment_result.assignment.choices()
+    )
+    assert fast.stable
+    record_head_to_head(
+        record_rows,
+        benchmark,
+        scenario="layered_dag_bounded_orientation",
+        dict_median=dict_median,
+        smoke=SMOKE,
+        required_speedup=REQUIRED_PIPELINE_SPEEDUP,
+        extra=dict(
+            nodes=len(compact_problem.node_ids),
+            edges=compact_problem.num_edges,
+            phases=fast.phases,
+            game_rounds=fast.game_rounds,
+        ),
+    )
+
+
+@pytest.mark.experiment("compact-orientation")
+def test_stable_orientation_smoke_scale(benchmark, record_rows):
+    """The fixed mid-size game the CI perf-regression gate re-times.
+
+    Timed on the compact backend only (the gate measures the dict backend
+    itself for the same-machine ratio floor); the compact-vs-dict
+    agreement is asserted here so a fast-but-wrong driver fails before
+    its timing is ever committed.
+    """
+    compact_problem = orientation_smoke(compact=True)
+    reference_problem = orientation_smoke()
+
+    fast = benchmark(lambda: run_stable_orientation(compact_problem))
+    ref = run_stable_orientation(reference_problem, backend="dict")
+    assert ref.orientation.oriented_edges() == fast.orientation.oriented_edges()
+    assert ref.per_phase == fast.per_phase
+    assert fast.stable
+    record_rows(
+        scenario="orientation_smoke",
+        nodes=len(compact_problem.node_ids),
+        edges=compact_problem.num_edges,
+        phases=fast.phases,
+        game_rounds=fast.game_rounds,
     )

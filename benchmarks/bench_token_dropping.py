@@ -36,10 +36,9 @@ baseline ``scripts/check_bench_regression.py`` re-times in CI.
 from __future__ import annotations
 
 import os
-import statistics
-import time
 
 import pytest
+from _head_to_head import median_time, record_head_to_head
 
 from repro.core.token_dropping import (
     greedy_token_dropping,
@@ -94,27 +93,10 @@ else:
     REFERENCE_ROUNDS = 3
 
 
-def _median_time(fn, rounds: int):
-    """Median wall time of ``fn`` over ``rounds`` runs, plus the last result."""
-    times = []
-    result = None
-    for _ in range(rounds):
-        start = time.perf_counter()
-        result = fn()
-        times.append(time.perf_counter() - start)
-    return statistics.median(times), result
-
-
-def _compact_median(benchmark):
-    """Median seconds pytest-benchmark measured, or None when disabled."""
-    stats = getattr(benchmark, "stats", None)
-    return stats.stats.median if stats is not None else None
-
-
 def _head_to_head(benchmark, record_rows, *, scenario, instance, run):
     """Time both backends on ``instance``, asserting exact agreement first."""
     fast = benchmark(lambda: run(instance, backend="compact"))
-    dict_median, ref = _median_time(
+    dict_median, ref = median_time(
         lambda: run(instance, backend="dict"), REFERENCE_ROUNDS
     )
     # Exact agreement: same placements, used edges, pass histories, and
@@ -122,28 +104,26 @@ def _head_to_head(benchmark, record_rows, *, scenario, instance, run):
     assert ref == fast
     report = fast.validate(instance)
     report.raise_if_invalid()
-    row = dict(
-        scenario=scenario,
+    extra = dict(
         nodes=len(instance.graph),
         edges=instance.graph.num_edges(),
         height=instance.height,
         delta=instance.max_degree,
         tokens=instance.num_tokens,
-        dict_median_seconds=dict_median,
     )
     if fast.game_rounds is not None:
-        row["game_rounds"] = fast.game_rounds
+        extra["game_rounds"] = fast.game_rounds
     else:
-        row["total_moves"] = fast.total_moves()
-    compact_median = _compact_median(benchmark)
-    if compact_median:
-        row["speedup"] = dict_median / compact_median
-    record_rows(**row)
-    if compact_median and not SMOKE:
-        assert row["speedup"] >= REQUIRED_SPEEDUP, (
-            f"{scenario}: compact path is only {row['speedup']:.2f}x faster "
-            f"(median {compact_median:.4f}s vs dict {dict_median:.4f}s)"
-        )
+        extra["total_moves"] = fast.total_moves()
+    record_head_to_head(
+        record_rows,
+        benchmark,
+        scenario=scenario,
+        dict_median=dict_median,
+        required_speedup=REQUIRED_SPEEDUP,
+        smoke=SMOKE,
+        extra=extra,
+    )
 
 
 @pytest.mark.experiment("compact-td")

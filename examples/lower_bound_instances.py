@@ -98,7 +98,8 @@ def demo_theorem63() -> None:
                 regular.number_of_nodes(),
                 girth,
                 tree.number_of_nodes(),
-                f"load({witness})={reg_orientation.load(witness)} >= {math.ceil(delta / 2)}",
+                f"load({witness})={reg_orientation.load(witness)} "
+                f">= {math.ceil(delta / 2)}",
                 "holds" if tree_ok else "VIOLATED",
                 f"radius {radius}: {'isomorphic' if indist else 'DIFFER'}",
             ]

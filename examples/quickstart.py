@@ -103,7 +103,11 @@ def demo_stable_orientation() -> None:
                 "happy" if orientation.is_happy(tail, head) else "UNHAPPY",
             ]
         )
-    print(format_table(["edge (customer -> server)", "load(tail)", "load(head)", "status"], rows))
+    print(
+        format_table(
+            ["edge (customer -> server)", "load(tail)", "load(head)", "status"], rows
+        )
+    )
     print("\nServer loads:", dict(sorted(orientation.loads().items())))
 
 

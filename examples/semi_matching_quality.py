@@ -29,10 +29,16 @@ def main() -> None:
     for skew in (0.0, 0.5, 1.0, 1.5, 2.0):
         for seed in (0, 1, 2):
             if skew == 0.0:
-                graph = uniform_assignment(num_jobs=120, num_servers=24, replicas=3, seed=seed)
+                graph = uniform_assignment(
+                    num_jobs=120, num_servers=24, replicas=3, seed=seed
+                )
             else:
                 graph = datacenter_assignment(
-                    num_jobs=120, num_servers=24, replicas=3, popularity_skew=skew, seed=seed
+                    num_jobs=120,
+                    num_servers=24,
+                    replicas=3,
+                    popularity_skew=skew,
+                    seed=seed,
                 )
             optimum = optimal_cost(graph)
             stable = run_stable_assignment(graph, seed=seed)

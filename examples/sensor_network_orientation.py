@@ -31,7 +31,9 @@ from repro.workloads import regular_orientation, sensor_network_orientation
 
 def main() -> None:
     print(banner("Sensor-network link orientation"))
-    problem = sensor_network_orientation(num_nodes=150, max_degree=8, density=0.06, seed=5)
+    problem = sensor_network_orientation(
+        num_nodes=150, max_degree=8, density=0.06, seed=5
+    )
     print(
         f"random bounded-degree network: {len(problem.nodes)} nodes, "
         f"{problem.num_edges()} links, Δ={problem.max_degree()}"

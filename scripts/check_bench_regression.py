@@ -1,31 +1,35 @@
 #!/usr/bin/env python3
-"""Perf-regression smoke check for the compact token-dropping path.
+"""Perf-regression gates over every committed ``BENCH_*.json`` suite.
 
-Re-times the fixed smoke scenario committed in ``BENCH_token_dropping.json``
-(``test_proposal_smoke_scale``, built by
-:func:`repro.workloads.token_dropping_smoke`) and fails when the fresh
-median exceeds the committed median by more than ``--max-factor`` (3x by
-default — generous enough to absorb machine differences, tight enough to
-catch an accidental fall-back to the reference scheduler or a kernel
-pessimisation).
+For each gated suite the script re-times one representative committed
+scenario and fails when the fresh median exceeds the committed median by
+more than ``--max-factor`` (3x by default — generous enough to absorb
+machine differences, tight enough to catch an accidental fall-back to a
+reference path or a kernel pessimisation).  Sub-``--min-budget`` medians
+are compared against the budget floor instead: a scenario committed at a
+couple of milliseconds would otherwise flake on any slower runner.
 
-Because the committed median was measured on a different machine, the
+Because committed medians were measured on a different machine, the
 absolute budget alone cannot distinguish "slow CI runner" from "kernel
-fell back to the reference scheduler".  The script therefore also times
-the reference backend *on the same machine in the same process* and
-requires the compact path to stay at least ``--min-ratio`` times faster
-(3x by default; the measured ratio on the smoke instance runs ~7x).  A
-silent fallback drives that ratio to ~1 and fails regardless of runner
-speed.
+fell back to the reference path".  Suites with a compact fast path
+(``token_dropping``, ``orientation``, ``compact_core``) therefore also
+time the dict reference *on the same machine in the same process* and
+require the gated path to stay at least ``--min-ratio`` times faster (3x
+by default).  A silent fallback drives that ratio to ~1 and fails
+regardless of runner speed.  Suites without a compact backend
+(``assignment``, ``semi_matching``, ``lower_bounds``) get the budget
+check only.
 
-Before timing anything, the script cross-checks the compact and reference
-backends on the same instance and fails on any disagreement, so CI keeps
-a standing compact-vs-reference agreement check for the token-dropping
-kernels even when every timing is fine.
+Before timing anything, each compact-backed gate cross-checks the compact
+and reference backends on its instance and fails on any disagreement, so
+CI keeps a standing compact-vs-reference agreement check even when every
+timing is fine.
 
 Usage (CI runs exactly this):
 
     PYTHONPATH=src python scripts/check_bench_regression.py --max-factor 3
+
+Run a single suite with ``--suite orientation`` (repeatable).
 """
 
 from __future__ import annotations
@@ -35,20 +39,234 @@ import json
 import statistics
 import sys
 import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Sequence
-
-from repro.core.token_dropping import run_proposal_algorithm
-from repro.workloads import token_dropping_smoke
+from typing import Callable, Dict, Optional, Sequence
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BENCH_FILE = REPO_ROOT / "BENCH_token_dropping.json"
-SCENARIO = "test_proposal_smoke_scale"
+
+
+@dataclass(frozen=True)
+class SuiteGate:
+    """One committed-median gate: how to rebuild and re-time a scenario."""
+
+    #: Scenario key inside the suite's ``BENCH_<suite>.json``.
+    scenario: str
+    #: Build the (warmed-up) instances the runners share.
+    prepare: Callable[[], dict]
+    #: The gated path — exactly what the committed median measures.
+    run: Callable[[dict], object]
+    #: Same-machine reference for the ratio floor; None when the suite has
+    #: no compact fast path (budget check only).
+    reference: Optional[Callable[[dict], object]] = None
+    #: Compact-vs-reference agreement check; returns an error message or
+    #: None.  Only meaningful alongside ``reference``.
+    check_agreement: Optional[Callable[[dict], Optional[str]]] = None
+
+
+# ----------------------------------------------------------------------
+# Gate definitions, one per committed BENCH_*.json
+# ----------------------------------------------------------------------
+def _token_dropping_gate() -> SuiteGate:
+    from repro.core.token_dropping import run_proposal_algorithm
+    from repro.workloads import token_dropping_smoke
+
+    def prepare() -> dict:
+        instance = token_dropping_smoke()
+        # Warm the instance's network/compact caches, like the benchmark
+        # does before timing.
+        run_proposal_algorithm(instance, backend="compact")
+        return {"instance": instance}
+
+    def check_agreement(ctx: dict) -> Optional[str]:
+        fast = run_proposal_algorithm(ctx["instance"], backend="compact")
+        reference = run_proposal_algorithm(ctx["instance"], backend="dict")
+        if fast != reference:
+            return (
+                "compact and reference token-dropping executions disagree "
+                "on the smoke instance"
+            )
+        fast.validate(ctx["instance"]).raise_if_invalid()
+        return None
+
+    return SuiteGate(
+        scenario="test_proposal_smoke_scale",
+        prepare=prepare,
+        run=lambda ctx: run_proposal_algorithm(ctx["instance"], backend="compact"),
+        reference=lambda ctx: run_proposal_algorithm(ctx["instance"], backend="dict"),
+        check_agreement=check_agreement,
+    )
+
+
+def _orientation_gate() -> SuiteGate:
+    from repro.core.orientation import run_stable_orientation
+    from repro.workloads import orientation_smoke
+
+    def prepare() -> dict:
+        compact = orientation_smoke(compact=True)
+        reference = orientation_smoke()
+        run_stable_orientation(compact, backend="compact")
+        return {"compact": compact, "reference": reference}
+
+    def check_agreement(ctx: dict) -> Optional[str]:
+        fast = run_stable_orientation(ctx["compact"], backend="compact")
+        ref = run_stable_orientation(ctx["reference"], backend="dict")
+        if (
+            ref.orientation.oriented_edges() != fast.orientation.oriented_edges()
+            or ref.per_phase != fast.per_phase
+            or (ref.phases, ref.game_rounds, ref.communication_rounds)
+            != (fast.phases, fast.game_rounds, fast.communication_rounds)
+        ):
+            return (
+                "compact and reference stable-orientation runs disagree on "
+                "the smoke instance"
+            )
+        return None
+
+    return SuiteGate(
+        scenario="test_stable_orientation_smoke_scale",
+        prepare=prepare,
+        run=lambda ctx: run_stable_orientation(ctx["compact"], backend="compact"),
+        reference=lambda ctx: run_stable_orientation(
+            ctx["reference"], backend="dict"
+        ),
+        check_agreement=check_agreement,
+    )
+
+
+def _compact_core_gate() -> SuiteGate:
+    from repro.core.orientation import sequential_flip_algorithm
+    from repro.workloads import layered_dag_orientation
+
+    # The bench_compact_core.py full-scale sequential-flips instance.
+    params = dict(num_levels=100, width=100, edge_probability=0.003, seed=0)
+
+    def prepare() -> dict:
+        compact = layered_dag_orientation(**params, compact=True)
+        reference = layered_dag_orientation(**params)
+        sequential_flip_algorithm(compact, backend="compact")
+        return {"compact": compact, "reference": reference}
+
+    def check_agreement(ctx: dict) -> Optional[str]:
+        fast, fast_stats = sequential_flip_algorithm(
+            ctx["compact"], backend="compact"
+        )
+        ref, ref_stats = sequential_flip_algorithm(
+            ctx["reference"], backend="dict"
+        )
+        if ref.oriented_edges() != fast.oriented_edges() or ref_stats != fast_stats:
+            return (
+                "compact and reference sequential-flip runs disagree on the "
+                "layered-DAG instance"
+            )
+        return None
+
+    return SuiteGate(
+        scenario="test_sequential_flips_on_layered_dag",
+        prepare=prepare,
+        run=lambda ctx: sequential_flip_algorithm(ctx["compact"], backend="compact"),
+        reference=lambda ctx: sequential_flip_algorithm(
+            ctx["reference"], backend="dict"
+        ),
+        check_agreement=check_agreement,
+    )
+
+
+def _assignment_gate() -> SuiteGate:
+    from repro.core.assignment import run_stable_assignment
+    from repro.workloads import datacenter_assignment
+
+    # The bench_assignment.py S=40 scenario (dict-only algorithm).
+    def prepare() -> dict:
+        graph = datacenter_assignment(
+            num_jobs=240, num_servers=40, replicas=3, popularity_skew=1.2, seed=40
+        )
+        return {"graph": graph}
+
+    return SuiteGate(
+        scenario="test_assignment_rounds_vs_server_degree[40]",
+        prepare=prepare,
+        run=lambda ctx: run_stable_assignment(ctx["graph"], seed=1),
+    )
+
+
+def _semi_matching_gate() -> SuiteGate:
+    from repro.core.assignment import optimal_cost
+    from repro.workloads import datacenter_assignment
+
+    def prepare() -> dict:
+        graph = datacenter_assignment(
+            num_jobs=200, num_servers=40, replicas=3, popularity_skew=1.5, seed=9
+        )
+        return {"graph": graph}
+
+    return SuiteGate(
+        scenario="test_optimal_semi_matching_cost",
+        prepare=prepare,
+        run=lambda ctx: optimal_cost(ctx["graph"]),
+    )
+
+
+def _lower_bounds_gate() -> SuiteGate:
+    from repro.core.assignment import maximal_matching_via_bounded_assignment
+    from repro.workloads import hard_matching_bipartite
+
+    def prepare() -> dict:
+        graph = hard_matching_bipartite(side=40, degree=4, seed=140)
+        return {"graph": graph}
+
+    return SuiteGate(
+        scenario="test_matching_reduction_via_bounded_assignment[40]",
+        prepare=prepare,
+        run=lambda ctx: maximal_matching_via_bounded_assignment(
+            ctx["graph"], seed=0
+        ),
+    )
+
+
+#: Suite name -> gate factory (lazy, so a --suite run only imports what it
+#: needs and a broken suite cannot take the other gates down at import).
+GATES: Dict[str, Callable[[], SuiteGate]] = {
+    "token_dropping": _token_dropping_gate,
+    "orientation": _orientation_gate,
+    "compact_core": _compact_core_gate,
+    "assignment": _assignment_gate,
+    "semi_matching": _semi_matching_gate,
+    "lower_bounds": _lower_bounds_gate,
+}
+
+
+def timed_median(fn: Callable[[], object], rounds: int) -> float:
+    """Median wall time of ``fn`` over ``rounds`` runs."""
+    times = []
+    for _ in range(max(1, rounds)):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def timing_rounds(
+    committed: float, base_rounds: int, min_budget: float = 0.05
+) -> int:
+    """More repetitions for fast scenarios, so medians beat noise.
+
+    Scales the round count so every gate spends at least ``min_budget``
+    seconds of total measurement per timed path (the same value that
+    floors the per-scenario budget), capped at 25 rounds.
+    """
+    if committed <= 0:
+        return base_rounds
+    return max(base_rounds, min(25, int(min_budget / committed) + 1))
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        description="Fail when the compact token-dropping median regresses."
+        description="Fail when any committed BENCH_*.json scenario regresses."
+    )
+    parser.add_argument(
+        "--suite", action="append", choices=sorted(GATES), default=None,
+        help="gate only this suite (repeatable; default: all suites)",
     )
     parser.add_argument(
         "--max-factor", type=float, default=3.0,
@@ -56,90 +274,103 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--min-ratio", type=float, default=3.0,
-        help="required dict/compact median ratio on this machine (default 3)",
+        help="required dict/compact median ratio on this machine for "
+        "compact-backed suites (default 3)",
+    )
+    parser.add_argument(
+        "--min-budget", type=float, default=0.05,
+        help="absolute floor in seconds for the per-scenario budget, so "
+        "millisecond-scale medians cannot flake on a slow runner "
+        "(default 0.05)",
     )
     parser.add_argument(
         "--rounds", type=int, default=5,
-        help="timing repetitions; the median is compared (default 5)",
+        help="baseline timing repetitions; the median is compared "
+        "(default 5; fast scenarios repeat more, see timing_rounds)",
     )
     parser.add_argument(
-        "--bench-file", type=Path, default=BENCH_FILE,
-        help="committed medians file (default BENCH_token_dropping.json)",
+        "--bench-dir", type=Path, default=REPO_ROOT,
+        help="directory holding the committed BENCH_*.json files "
+        "(default: repo root)",
     )
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(list(argv) if argv is not None else None)
-
+def check_suite(suite: str, gate: SuiteGate, args: argparse.Namespace) -> int:
+    """Run one suite's gate; returns 0 (ok), 1 (failed), or 2 (unusable)."""
+    bench_file = args.bench_dir / f"BENCH_{suite}.json"
     try:
-        payload = json.loads(args.bench_file.read_text())
-        committed = payload["scenarios"][SCENARIO]["median_seconds"]
-    except (OSError, ValueError, KeyError):
+        payload = json.loads(bench_file.read_text())
+        committed = payload["scenarios"][gate.scenario]["median_seconds"]
+        budget = committed * args.max_factor
+    except (OSError, ValueError, KeyError, TypeError):
         print(
-            f"ERROR: no committed median for {SCENARIO!r} in {args.bench_file}; "
-            "regenerate it with: pytest benchmarks/bench_token_dropping.py "
-            "--benchmark-only",
+            f"ERROR: no committed median for {gate.scenario!r} in "
+            f"{bench_file}; regenerate it with: pytest "
+            f"benchmarks/bench_{suite}.py --benchmark-only",
             file=sys.stderr,
         )
         return 2
 
-    instance = token_dropping_smoke()
+    ctx = gate.prepare()
 
     # Agreement first: a fast-but-wrong kernel must fail before any timing.
-    fast = run_proposal_algorithm(instance, backend="compact")
-    reference = run_proposal_algorithm(instance, backend="dict")
-    if fast != reference:
-        print(
-            "ERROR: compact and reference token-dropping executions disagree "
-            "on the smoke instance",
-            file=sys.stderr,
-        )
-        return 1
-    fast.validate(instance).raise_if_invalid()
+    if gate.check_agreement is not None:
+        error = gate.check_agreement(ctx)
+        if error is not None:
+            print(f"ERROR: [{suite}] {error}", file=sys.stderr)
+            return 1
 
-    def timed_median(backend: str) -> float:
-        times = []
-        for _ in range(max(1, args.rounds)):
-            start = time.perf_counter()
-            run_proposal_algorithm(instance, backend=backend)
-            times.append(time.perf_counter() - start)
-        return statistics.median(times)
+    rounds = timing_rounds(committed, args.rounds, args.min_budget)
+    median = timed_median(lambda: gate.run(ctx), rounds)
+    effective_budget = max(budget, args.min_budget)
 
-    # The agreement runs above warmed the instance's network/compact caches,
-    # like the benchmark does before timing.
-    median = timed_median("compact")
-    dict_median = timed_median("dict")
-    ratio = dict_median / median if median else float("inf")
-
-    budget = committed * args.max_factor
-    print(
-        f"{SCENARIO}: measured median {median:.4f}s, committed "
-        f"{committed:.4f}s, budget {budget:.4f}s ({args.max_factor:.1f}x); "
-        f"dict median {dict_median:.4f}s, ratio {ratio:.1f}x "
-        f"(floor {args.min_ratio:.1f}x)"
+    line = (
+        f"[{suite}] {gate.scenario}: measured median {median:.4f}s, "
+        f"committed {committed:.4f}s, budget {effective_budget:.4f}s "
+        f"({args.max_factor:.1f}x, floor {args.min_budget:.2f}s)"
     )
-    failed = False
-    if median > budget:
+    ratio = None
+    if gate.reference is not None:
+        dict_median = timed_median(lambda: gate.reference(ctx), rounds)
+        ratio = dict_median / median if median else float("inf")
+        line += (
+            f"; dict median {dict_median:.4f}s, ratio {ratio:.1f}x "
+            f"(floor {args.min_ratio:.1f}x)"
+        )
+
+    failed = median > effective_budget or (
+        ratio is not None and ratio < args.min_ratio
+    )
+    print(line + (" — FAILED" if failed else " — OK"))
+    if median > effective_budget:
         print(
-            f"ERROR: compact token-dropping path regressed more than "
+            f"ERROR: [{suite}] {gate.scenario} regressed more than "
             f"{args.max_factor:.1f}x against the committed median",
             file=sys.stderr,
         )
-        failed = True
-    if ratio < args.min_ratio:
+    if ratio is not None and ratio < args.min_ratio:
         print(
-            f"ERROR: compact path is only {ratio:.1f}x faster than the "
-            f"reference scheduler on this machine (floor "
-            f"{args.min_ratio:.1f}x) — likely a silent fall-back or kernel "
-            "pessimisation",
+            f"ERROR: [{suite}] compact path is only {ratio:.1f}x faster "
+            f"than the reference on this machine (floor "
+            f"{args.min_ratio:.1f}x) — likely a silent fall-back or "
+            "kernel pessimisation",
             file=sys.stderr,
         )
-        failed = True
-    if failed:
-        return 1
-    print("OK: within budget and ratio floor; backends agree")
-    return 0
+    return 1 if failed else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(list(argv) if argv is not None else None)
+    suites = args.suite or sorted(GATES)
+
+    worst = 0
+    for suite in suites:
+        gate = GATES[suite]()
+        worst = max(worst, check_suite(suite, gate, args))
+    if worst == 0:
+        print(f"OK: {len(suites)} suite gate(s) within budget; backends agree")
+    return worst
 
 
 if __name__ == "__main__":

@@ -115,12 +115,19 @@ def report_top_slowest(opts: EngineOptions, count: int) -> None:
     for result in slowest:
         params = " ".join(f"{k}={v}" for k, v in sorted(result.params.items()))
         rows.append(
-            [result.experiment, params or "-", result.seed,
-             f"{result.elapsed_seconds:.3f}",
-             "cache" if result.cached else "run"]
+            [
+                result.experiment,
+                params or "-",
+                result.seed,
+                f"{result.elapsed_seconds:.3f}",
+                "cache" if result.cached else "run",
+            ]
         )
-    out(markdown_table(
-        ["experiment", "params", "seed", "wall time (s)", "source"], rows))
+    out(
+        markdown_table(
+            ["experiment", "params", "seed", "wall time (s)", "source"], rows
+        )
+    )
     out()
 
 
@@ -143,9 +150,21 @@ def experiment_e1(opts: EngineOptions) -> None:
         means.append(rounds)
         rows.append([delta, 5, f"{rounds:.1f}", f"{ratio:.4f}"])
     fit = fit_power_law([float(d) for d in deltas], means)
-    out(markdown_table(["Δ (cap)", "height L", "game rounds (mean)", "rounds / 8(L+1)(Δ+1)² bound"], rows))
-    out(f"\nFitted rounds ≈ {fit.coefficient:.2f}·Δ^{fit.exponent:.2f} at fixed L "
-        f"(theorem allows exponent ≤ 2); every run stayed below the explicit bound.\n")
+    out(
+        markdown_table(
+            [
+                "Δ (cap)",
+                "height L",
+                "game rounds (mean)",
+                "rounds / 8(L+1)(Δ+1)² bound",
+            ],
+            rows,
+        )
+    )
+    out(
+        f"\nFitted rounds ≈ {fit.coefficient:.2f}·Δ^{fit.exponent:.2f} at fixed L "
+        f"(theorem allows exponent ≤ 2); every run stayed below the explicit bound.\n"
+    )
 
     heights = [2, 4, 6, 8, 10]
     results = sweep(
@@ -181,16 +200,34 @@ def experiment_e2(opts: EngineOptions) -> None:
     for result in results:
         v = result.values
         rows.append(
-            [v["side"], v["td_game_rounds"], v["td_matching_size"],
-             "yes" if v["td_maximal"] else "NO",
-             v["ba_phases"], v["ba_matching_size"],
-             "yes" if v["ba_maximal"] else "NO"]
+            [
+                v["side"],
+                v["td_game_rounds"],
+                v["td_matching_size"],
+                "yes" if v["td_maximal"] else "NO",
+                v["ba_phases"],
+                v["ba_matching_size"],
+                "yes" if v["ba_maximal"] else "NO",
+            ]
         )
-    out(markdown_table(
-        ["side n", "TD game rounds", "TD matching size", "maximal?",
-         "2-bounded phases", "BA matching size", "maximal?"], rows))
-    out("\nBoth reductions always produce maximal matchings, which is the content of the "
-        "lower-bound arguments (hardness transfers from maximal matching).\n")
+    out(
+        markdown_table(
+            [
+                "side n",
+                "TD game rounds",
+                "TD matching size",
+                "maximal?",
+                "2-bounded phases",
+                "BA matching size",
+                "maximal?",
+            ],
+            rows,
+        )
+    )
+    out(
+        "\nBoth reductions always produce maximal matchings, which is the content "
+        "of the lower-bound arguments (hardness transfers from maximal matching).\n"
+    )
 
 
 def experiment_e3(opts: EngineOptions) -> None:
@@ -211,8 +248,15 @@ def experiment_e3(opts: EngineOptions) -> None:
         fast_means.append(fast)
         rows.append([delta, f"{fast:.1f}", f"{generic:.1f}"])
     fit_fast = fit_power_law([float(d) for d in deltas], fast_means)
-    out(markdown_table(["Δ (cap)", "three-level rounds", "generic proposal rounds"], rows))
-    out(f"\nThree-level algorithm fitted exponent {fit_fast.exponent:.2f} (theorem: ≤ 1).\n")
+    out(
+        markdown_table(
+            ["Δ (cap)", "three-level rounds", "generic proposal rounds"], rows
+        )
+    )
+    out(
+        f"\nThree-level algorithm fitted exponent {fit_fast.exponent:.2f} "
+        "(theorem: ≤ 1).\n"
+    )
 
 
 def experiment_e4_e9(opts: EngineOptions) -> None:
@@ -231,22 +275,37 @@ def experiment_e4_e9(opts: EngineOptions) -> None:
         rounds = mean(point.values_of("game_rounds"))
         phase_means.append(rounds)
         rows.append(
-            [delta,
-             f"{mean(point.values_of('phases')):.1f}",
-             f"{rounds:.1f}",
-             f"{mean(point.values_of('bound_ratio')):.5f}",
-             f"{mean(point.values_of('repair_rounds')):.1f}",
-             f"{mean(point.values_of('sequential_flips')):.1f}"]
+            [
+                delta,
+                f"{mean(point.values_of('phases')):.1f}",
+                f"{rounds:.1f}",
+                f"{mean(point.values_of('bound_ratio')):.5f}",
+                f"{mean(point.values_of('repair_rounds')):.1f}",
+                f"{mean(point.values_of('sequential_flips')):.1f}",
+            ]
         )
     fit = fit_power_law([float(d) for d in deltas], phase_means)
-    out(markdown_table(
-        ["Δ", "phases (Thm 5.1)", "game rounds (Thm 5.1)", "rounds / 16(Δ+1)⁴ bound",
-         "repair baseline rounds", "sequential flips (E9)"], rows))
-    out(f"\nPhase-algorithm rounds grow ≈ Δ^{fit.exponent:.2f} on random Δ-regular graphs — far "
-        "below the worst-case Δ⁴ budget, and every run respects the explicit bound.  On these "
-        "non-adversarial instances the repair baseline also finishes quickly; the paper's "
-        "improvement is about the worst-case guarantee (O(Δ⁴) vs O(Δ⁵)), which the bound-ratio "
-        "column certifies, not about typical random instances.\n")
+    out(
+        markdown_table(
+            [
+                "Δ",
+                "phases (Thm 5.1)",
+                "game rounds (Thm 5.1)",
+                "rounds / 16(Δ+1)⁴ bound",
+                "repair baseline rounds",
+                "sequential flips (E9)",
+            ],
+            rows,
+        )
+    )
+    out(
+        f"\nPhase-algorithm rounds grow ≈ Δ^{fit.exponent:.2f} on random Δ-regular "
+        "graphs — far below the worst-case Δ⁴ budget, and every run respects the "
+        "explicit bound.  On these non-adversarial instances the repair baseline "
+        "also finishes quickly; the paper's improvement is about the worst-case "
+        "guarantee (O(Δ⁴) vs O(Δ⁵)), which the bound-ratio column certifies, not "
+        "about typical random instances.\n"
+    )
 
 
 def experiment_e5(opts: EngineOptions) -> None:
@@ -263,21 +322,44 @@ def experiment_e5(opts: EngineOptions) -> None:
     for result in results:
         v = result.values
         girth = v["girth"] if v["girth"] >= 0 else math.inf
+        views = "isomorphic" if v["views_isomorphic"] else "differ"
         rows.append(
-            [v["delta"], v["regular_nodes"], girth, v["tree_nodes"],
-             f"{v['witness_load']} ≥ {v['witness_required']}",
-             "holds" if v["lemma61_holds"] else "VIOLATED",
-             f"r={v['view_radius']}: {'isomorphic' if v['views_isomorphic'] else 'differ'}"]
+            [
+                v["delta"],
+                v["regular_nodes"],
+                girth,
+                v["tree_nodes"],
+                f"{v['witness_load']} ≥ {v['witness_required']}",
+                "holds" if v["lemma61_holds"] else "VIOLATED",
+                f"r={v['view_radius']}: {views}",
+            ]
         )
-    out(markdown_table(
-        ["Δ", "|V| regular", "girth", "|V| tree", "Lemma 6.2 witness load",
-         "Lemma 6.1", "local views"], rows))
-    out("\nPremises and both lemmas verified on every pair (girth scaled down from the "
-        "paper's Δ+1 to keep instance sizes laptop-scale; see DESIGN.md).\n")
+    out(
+        markdown_table(
+            [
+                "Δ",
+                "|V| regular",
+                "girth",
+                "|V| tree",
+                "Lemma 6.2 witness load",
+                "Lemma 6.1",
+                "local views",
+            ],
+            rows,
+        )
+    )
+    out(
+        "\nPremises and both lemmas verified on every pair (girth scaled down "
+        "from the paper's Δ+1 to keep instance sizes laptop-scale; see "
+        "DESIGN.md).\n"
+    )
 
 
 def experiment_e6_e7(opts: EngineOptions) -> None:
-    out("## E6 / E7 — Theorems 7.3 / 7.5: stable assignment and the 2-bounded relaxation\n")
+    out(
+        "## E6 / E7 — Theorems 7.3 / 7.5: stable assignment and the 2-bounded "
+        "relaxation\n"
+    )
     replicas_sweep = [2, 3, 4, 6]
     results = sweep(
         "E6-E7",
@@ -289,21 +371,35 @@ def experiment_e6_e7(opts: EngineOptions) -> None:
     for replicas in replicas_sweep:
         point = results.filter(replicas=replicas)
         rows.append(
-            [replicas,
-             f"{mean(point.values_of('general_phases')):.1f}",
-             f"{mean(point.values_of('general_rounds')):.1f}",
-             f"{mean(point.values_of('bounded_phases')):.1f}",
-             f"{mean(point.values_of('bounded_rounds')):.1f}"]
+            [
+                replicas,
+                f"{mean(point.values_of('general_phases')):.1f}",
+                f"{mean(point.values_of('general_rounds')):.1f}",
+                f"{mean(point.values_of('bounded_phases')):.1f}",
+                f"{mean(point.values_of('bounded_rounds')):.1f}",
+            ]
         )
-    out(markdown_table(
-        ["C (replicas)", "general phases", "general rounds (Thm 7.3)",
-         "2-bounded phases", "2-bounded rounds (Thm 7.5)"], rows))
-    out("\nBoth produce stable solutions on every instance, and the relaxation's embedded token "
-        "dropping games never exceed three levels (the mechanism behind Theorem 7.5's better "
-        "bound).  On these easy random instances the relaxation uses somewhat *more* phases "
-        "because effective loads make the proposal step less informative; the theorem's "
-        "advantage is the worst-case budget (O(C·S²) vs O(C·S⁴)), not typical-case rounds — "
-        "see EXPERIMENTS.md.\n")
+    out(
+        markdown_table(
+            [
+                "C (replicas)",
+                "general phases",
+                "general rounds (Thm 7.3)",
+                "2-bounded phases",
+                "2-bounded rounds (Thm 7.5)",
+            ],
+            rows,
+        )
+    )
+    out(
+        "\nBoth produce stable solutions on every instance, and the relaxation's "
+        "embedded token dropping games never exceed three levels (the mechanism "
+        "behind Theorem 7.5's better bound).  On these easy random instances the "
+        "relaxation uses somewhat *more* phases because effective loads make the "
+        "proposal step less informative; the theorem's advantage is the "
+        "worst-case budget (O(C·S²) vs O(C·S⁴)), not typical-case rounds — see "
+        "EXPERIMENTS.md.\n"
+    )
 
 
 def experiment_e8(opts: EngineOptions) -> None:
@@ -321,12 +417,29 @@ def experiment_e8(opts: EngineOptions) -> None:
         point = results.filter(skew=skew)
         stable_ratios = point.values_of("stable_ratio")
         worst = max(worst, max(stable_ratios))
-        rows.append([skew, f"{mean(stable_ratios):.4f}", f"{max(stable_ratios):.4f}",
-                     f"{mean(point.values_of('greedy_ratio')):.4f}"])
-    out(markdown_table(
-        ["server skew", "stable/optimal (mean)", "stable/optimal (max)", "greedy/optimal (mean)"],
-        rows))
-    out(f"\nWorst stable-assignment ratio observed: {worst:.4f} ≤ 2 (the guaranteed factor).\n")
+        rows.append(
+            [
+                skew,
+                f"{mean(stable_ratios):.4f}",
+                f"{max(stable_ratios):.4f}",
+                f"{mean(point.values_of('greedy_ratio')):.4f}",
+            ]
+        )
+    out(
+        markdown_table(
+            [
+                "server skew",
+                "stable/optimal (mean)",
+                "stable/optimal (max)",
+                "greedy/optimal (mean)",
+            ],
+            rows,
+        )
+    )
+    out(
+        f"\nWorst stable-assignment ratio observed: {worst:.4f} ≤ 2 "
+        "(the guaranteed factor).\n"
+    )
 
 
 def experiment_e10(opts: EngineOptions) -> None:
@@ -342,20 +455,34 @@ def experiment_e10(opts: EngineOptions) -> None:
     for skew in skews:
         point = results.filter(skew=skew)
         rows.append(
-            [skew,
-             f"{mean(point.values_of('moves')):.1f}",
-             f"{mean(point.values_of('greedy_overhead')):.4f}",
-             f"{mean(point.values_of('max_load')):.1f}",
-             f"{mean(point.values_of('greedy_max_load')):.1f}",
-             "yes" if all(point.values_of("stable")) else "NO"]
+            [
+                skew,
+                f"{mean(point.values_of('moves')):.1f}",
+                f"{mean(point.values_of('greedy_overhead')):.4f}",
+                f"{mean(point.values_of('max_load')):.1f}",
+                f"{mean(point.values_of('greedy_max_load')):.1f}",
+                "yes" if all(point.values_of("stable")) else "NO",
+            ]
         )
-    out(markdown_table(
-        ["server skew", "moves to stability", "greedy cost / stable cost",
-         "stable max load", "greedy max load", "stable?"], rows))
-    out("\nBest-response dynamics converge after few moves even at thousands of jobs "
-        "(the compact CSR kernels keep the sweep cheap) and strictly improve on greedy "
-        "under skew — the production-path counterpart of the paper's distributed "
-        "constructions.\n")
+    out(
+        markdown_table(
+            [
+                "server skew",
+                "moves to stability",
+                "greedy cost / stable cost",
+                "stable max load",
+                "greedy max load",
+                "stable?",
+            ],
+            rows,
+        )
+    )
+    out(
+        "\nBest-response dynamics converge after few moves even at thousands of "
+        "jobs (the compact CSR kernels keep the sweep cheap) and strictly improve "
+        "on greedy under skew — the production-path counterpart of the paper's "
+        "distributed constructions.\n"
+    )
 
 
 EXPERIMENTS = {

@@ -68,7 +68,11 @@ def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
     residual = float(np.sum((log_y - predictions) ** 2))
     total = float(np.sum((log_y - np.mean(log_y)) ** 2))
     r_squared = 1.0 if total == 0 else max(0.0, 1.0 - residual / total)
-    return PowerLawFit(exponent=float(slope), coefficient=float(math.exp(intercept)), r_squared=r_squared)
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(math.exp(intercept)),
+        r_squared=r_squared,
+    )
 
 
 def max_bound_ratio(
@@ -106,7 +110,9 @@ def crossover_point(
     return None
 
 
-def speedup_series(ys_baseline: Sequence[float], ys_new: Sequence[float]) -> list[float]:
+def speedup_series(
+    ys_baseline: Sequence[float], ys_new: Sequence[float]
+) -> list[float]:
     """Element-wise baseline / new ratios (values > 1 mean the new method wins)."""
     if len(ys_baseline) != len(ys_new):
         raise ValueError("series must have the same length")

@@ -28,7 +28,9 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
             widths[index] = max(widths[index], len(cell))
 
     def render_row(cells: Sequence[str]) -> str:
-        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+        return "  ".join(
+            cell.ljust(width) for cell, width in zip(cells, widths)
+        ).rstrip()
 
     lines = [render_row(list(headers)), render_row(["-" * w for w in widths])]
     lines.extend(render_row(row) for row in string_rows)

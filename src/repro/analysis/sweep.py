@@ -65,7 +65,10 @@ class SweepResult:
         return subset
 
     def series(
-        self, x_param: str, value: str, reduce: Callable[[Sequence[float]], float] = None
+        self,
+        x_param: str,
+        value: str,
+        reduce: Callable[[Sequence[float]], float] = None,
     ) -> tuple[List[float], List[float]]:
         """Aggregate ``value`` per distinct ``x_param``, averaged over seeds.
 
@@ -109,14 +112,19 @@ def run_sweep(
     then be importable by name); ``cache_dir`` persists per-task results
     so a re-run with ``resume=True`` executes only missing tasks.
     """
-    spec = ExperimentSpec(name=name, measure=measure, grid=list(grid), seeds=tuple(seeds))
+    spec = ExperimentSpec(
+        name=name, measure=measure, grid=list(grid), seeds=tuple(seeds)
+    )
 
     engine_progress = None
     if progress is not None:
 
         def engine_progress(result):  # noqa: ANN001 - TaskResult
             origin = " [cache]" if result.cached else ""
-            progress(f"{name}: {result.params} seed={result.seed} -> {result.values}{origin}")
+            progress(
+                f"{name}: {result.params} seed={result.seed} -> "
+                f"{result.values}{origin}"
+            )
 
     result_set = run_experiment(
         spec,

@@ -67,15 +67,21 @@ def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Distributed token dropping, stable orientations, and stable assignments "
-        "(reproduction of Brandt et al., SPAA 2021).",
+        description="Distributed token dropping, stable orientations, and stable "
+        "assignments (reproduction of Brandt et al., SPAA 2021).",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    td = sub.add_parser("token-dropping", help="generate and solve a token dropping game")
-    td.add_argument("--figure2", action="store_true", help="use the paper's Figure 2 game")
-    td.add_argument("--levels", type=int, default=6, help="number of levels (default 6)")
+    td = sub.add_parser(
+        "token-dropping", help="generate and solve a token dropping game"
+    )
+    td.add_argument(
+        "--figure2", action="store_true", help="use the paper's Figure 2 game"
+    )
+    td.add_argument(
+        "--levels", type=int, default=6, help="number of levels (default 6)"
+    )
     td.add_argument("--width", type=int, default=6, help="nodes per level (default 6)")
     td.add_argument("--edge-probability", type=float, default=0.4)
     td.add_argument("--token-fraction", type=float, default=0.5)
@@ -83,18 +89,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm",
         choices=["proposal", "three-level", "greedy"],
         default="proposal",
-        help="proposal = Theorem 4.1; three-level = Theorem 4.7 (heights <= 2); greedy = centralized",
+        help="proposal = Theorem 4.1; three-level = Theorem 4.7 (heights <= 2); "
+        "greedy = centralized",
     )
     td.add_argument("--seed", type=int, default=0)
     td.add_argument("--tails", action="store_true", help="also print traversal tails")
-    td.add_argument("--dot", type=str, default=None, help="write a Graphviz DOT file here")
+    td.add_argument(
+        "--dot", type=str, default=None, help="write a Graphviz DOT file here"
+    )
 
     orient = sub.add_parser("orient", help="find a stable orientation")
     orient.add_argument(
-        "--workload", choices=["sensor", "regular"], default="sensor", help="instance family"
+        "--workload",
+        choices=["sensor", "regular"],
+        default="sensor",
+        help="instance family",
     )
     orient.add_argument("--nodes", type=int, default=80)
-    orient.add_argument("--degree", type=int, default=6, help="max degree (sensor) / degree (regular)")
+    orient.add_argument(
+        "--degree",
+        type=int,
+        default=6,
+        help="max degree (sensor) / degree (regular)",
+    )
     orient.add_argument(
         "--algorithm",
         choices=["phases", "sequential", "repair", "bounded"],
@@ -102,7 +119,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="phases = Theorem 5.1; bounded = the 0-1-many relaxation (Section 1.4)",
     )
     orient.add_argument("--seed", type=int, default=0)
-    orient.add_argument("--dot", type=str, default=None, help="write a Graphviz DOT file here")
+    orient.add_argument(
+        "--dot", type=str, default=None, help="write a Graphviz DOT file here"
+    )
 
     assign = sub.add_parser("assign", help="find a stable assignment")
     assign.add_argument("--jobs", type=int, default=120)
@@ -113,7 +132,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm",
         choices=["stable", "bounded", "greedy"],
         default="stable",
-        help="stable = Theorem 7.3; bounded = Theorem 7.5 (k=2); greedy = naive baseline",
+        help="stable = Theorem 7.3; bounded = Theorem 7.5 (k=2); "
+        "greedy = naive baseline",
     )
     assign.add_argument("--seed", type=int, default=0)
     assign.add_argument(
@@ -213,23 +233,33 @@ def _cmd_orient(args: argparse.Namespace) -> int:
             num_nodes=args.nodes, max_degree=args.degree, seed=args.seed
         )
     else:
-        problem = regular_orientation(degree=args.degree, num_nodes=args.nodes, seed=args.seed)
+        problem = regular_orientation(
+            degree=args.degree, num_nodes=args.nodes, seed=args.seed
+        )
 
     print(banner("stable orientation"))
     print(
-        f"{len(problem.nodes)} nodes, {problem.num_edges()} edges, Δ={problem.max_degree()}, "
-        f"algorithm={args.algorithm}"
+        f"{len(problem.nodes)} nodes, {problem.num_edges()} edges, "
+        f"Δ={problem.max_degree()}, algorithm={args.algorithm}"
     )
     if args.algorithm == "phases":
         result = run_stable_orientation(problem, seed=args.seed)
         orientation = result.orientation
-        print(f"phases={result.phases} game_rounds={result.game_rounds} stable={result.stable}")
+        print(
+            f"phases={result.phases} game_rounds={result.game_rounds} "
+            f"stable={result.stable}"
+        )
     elif args.algorithm == "bounded":
         result = run_bounded_stable_orientation(problem, seed=args.seed)
         orientation = result.orientation
-        print(f"phases={result.phases} game_rounds={result.game_rounds} 0-1-many stable={result.stable}")
+        print(
+            f"phases={result.phases} game_rounds={result.game_rounds} "
+            f"0-1-many stable={result.stable}"
+        )
     elif args.algorithm == "sequential":
-        orientation, stats = sequential_flip_algorithm(problem, policy="random", seed=args.seed)
+        orientation, stats = sequential_flip_algorithm(
+            problem, policy="random", seed=args.seed
+        )
         print(f"flips={stats.flips} stable={orientation.is_stable()}")
     else:
         orientation, stats = synchronous_repair_orientation(problem, seed=args.seed)
@@ -264,11 +294,17 @@ def _cmd_assign(args: argparse.Namespace) -> int:
     if args.algorithm == "stable":
         result = run_stable_assignment(graph, seed=args.seed)
         assignment = result.assignment
-        print(f"phases={result.phases} game_rounds={result.game_rounds} stable={result.stable}")
+        print(
+            f"phases={result.phases} game_rounds={result.game_rounds} "
+            f"stable={result.stable}"
+        )
     elif args.algorithm == "bounded":
         result = run_bounded_stable_assignment(graph, k=2, seed=args.seed)
         assignment = result.assignment
-        print(f"phases={result.phases} game_rounds={result.game_rounds} 2-bounded stable={result.stable}")
+        print(
+            f"phases={result.phases} game_rounds={result.game_rounds} "
+            f"2-bounded stable={result.stable}"
+        )
     else:
         assignment = greedy_assignment(graph, order="random", seed=args.seed)
         print("greedy baseline (no stability guarantee)")
@@ -277,7 +313,8 @@ def _cmd_assign(args: argparse.Namespace) -> int:
     if args.compare_optimal:
         optimum = optimal_cost(graph)
         print(
-            f"optimal cost = {optimum}; ratio = {approximation_ratio(assignment, optimum):.4f} "
+            f"optimal cost = {optimum}; "
+            f"ratio = {approximation_ratio(assignment, optimum):.4f} "
             "(stable assignments are guaranteed <= 2)"
         )
     print()
@@ -292,7 +329,10 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
     script = Path(__file__).resolve().parents[2] / "scripts" / "run_experiments.py"
     if not script.exists():
-        print("scripts/run_experiments.py not found (installed package without the repository)")
+        print(
+            "scripts/run_experiments.py not found "
+            "(installed package without the repository)"
+        )
         return 1
     spec = importlib.util.spec_from_file_location("run_experiments", script)
     module = importlib.util.module_from_spec(spec)

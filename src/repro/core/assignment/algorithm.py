@@ -200,7 +200,8 @@ def run_stable_assignment(
             violations = solution.validate(instance)
             if violations:
                 raise AlgorithmError(
-                    "invalid hypergraph token dropping solution: " + "; ".join(violations)
+                    "invalid hypergraph token dropping solution: "
+                    + "; ".join(violations)
                 )
 
         # Step 4: move assignments along the traversals (change hyperedge heads).

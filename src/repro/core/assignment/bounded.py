@@ -23,7 +23,7 @@ The paper proves two results about this relaxation:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, List, Set, Tuple
 
 from repro.core.assignment.algorithm import (
     StableAssignmentResult,
@@ -35,7 +35,9 @@ from repro.graphs.bipartite import CustomerServerGraph
 NodeId = Hashable
 
 
-def theoretical_bounded_round_bound(graph: CustomerServerGraph, constant: int = 16) -> int:
+def theoretical_bounded_round_bound(
+    graph: CustomerServerGraph, constant: int = 16
+) -> int:
     """A concrete O(C·S²) bound on the total game rounds (Theorem 7.5)."""
     c = graph.max_customer_degree() + 1
     s = graph.max_server_degree() + 1

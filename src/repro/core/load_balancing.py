@@ -26,7 +26,7 @@ claimed reproduction of FHS15.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+from typing import Dict, Hashable, Mapping, Optional, Tuple
 
 from repro.core.orientation.problem import OrientationProblem, edge_key
 
@@ -99,7 +99,9 @@ def locally_optimal_load_balancing(
         if node not in loads:
             raise ValueError(f"unknown node {node!r} in initial loads")
         if not isinstance(load, int) or load < 0:
-            raise ValueError(f"load of {node!r} must be a non-negative integer, got {load!r}")
+            raise ValueError(
+                f"load of {node!r} must be a non-negative integer, got {load!r}"
+            )
         loads[node] = load
 
     if max_moves is None:

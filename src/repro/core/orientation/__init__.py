@@ -12,12 +12,15 @@ The paper's algorithm (Theorem 5.1)
 
 Baselines
     :func:`sequential_flip_algorithm` -- the centralized flip algorithm of
-    Section 1.1, with a compact int-array fast path dispatched per
-    :mod:`repro.dispatch` (identical results, verified by cross-validation
-    tests); :func:`synchronous_repair_orientation` -- a
+    Section 1.1; :func:`synchronous_repair_orientation` -- a
     repair-from-arbitrary-orientation distributed baseline standing in for
     the O(Δ⁵) prior work (see the module docstring for the substitution
     rationale).
+
+Every entry point above (and the k-bounded relaxation,
+:func:`run_bounded_stable_orientation`) carries a compact int-array fast
+path dispatched per :mod:`repro.dispatch` — identical results, verified
+on hundreds of seeded instances by the cross-validation suite.
 """
 
 from repro.core.orientation.bounded import (

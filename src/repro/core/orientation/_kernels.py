@@ -1,12 +1,27 @@
-"""Int-array fast-path kernel for the sequential flip algorithm.
+"""Int-array fast-path kernels for the stable orientation pipeline.
 
-This module is the compact counterpart of
-:mod:`repro.core.orientation.sequential`: it runs the same algorithm on a
+This module holds the compact counterparts of the orientation algorithms:
+
+* :func:`sequential_flip_kernel` — the centralized flip baseline
+  (:mod:`repro.core.orientation.sequential`);
+* :func:`stable_orientation_kernel` — the phase-based Theorem 5.1
+  algorithm (:mod:`repro.core.orientation.phases`), building each phase's
+  token dropping game directly as int arrays and chaining into the
+  compact proposal-game kernel of
+  :mod:`repro.core.token_dropping._kernels`;
+* :func:`repair_kernel` — the synchronous repair baseline
+  (:mod:`repro.core.orientation.repair`);
+* :func:`bounded_orientation_kernel` — the k-bounded relaxation
+  (:mod:`repro.core.orientation.bounded`), running the edge-customer
+  specialisation of the Section 7 assignment phases and their rank-2
+  hypergraph proposal games entirely on flat arrays.
+
+Each kernel runs the same algorithm on a
 :class:`~repro.graphs.compact.CompactGraph`, touching only flat integer
-arrays in the hot loop.  It reproduces the reference implementation's
-results *exactly* — same flip sequence, same final orientation, same
-statistics — which the cross-validation suite asserts on hundreds of
-seeded instances.
+arrays in the hot loop, and reproduces the reference implementation's
+results *exactly* — same final orientation, same per-phase statistics,
+same round counts — which the cross-validation suite asserts on hundreds
+of seeded instances.
 
 How reference tie-breaking is replayed in int-land
 --------------------------------------------------
@@ -25,9 +40,10 @@ from __future__ import annotations
 
 import random
 from operator import itemgetter
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.graphs.compact import CompactGraph
+from repro.local_model.errors import AlgorithmError
 
 
 def directed_ranks(graph: CompactGraph) -> Tuple[List[int], List[int]]:
@@ -35,8 +51,13 @@ def directed_ranks(graph: CompactGraph) -> Tuple[List[int], List[int]]:
 
     ``rank_to_v[e]`` ranks the orientation pointing at ``edge_v[e]`` and
     ``rank_to_u[e]`` the reverse; comparing ranks is equivalent to
-    comparing the reference path's ``repr`` strings.
+    comparing the reference path's ``repr`` strings.  Memoized on the
+    (immutable) graph, so repeated kernel runs on the same instance pay
+    the ``repr`` sort exactly once.
     """
+    cached = graph.derived.get("directed_ranks")
+    if cached is not None:
+        return cached
     ids = graph.node_ids
     m = graph.num_edges
     reprs: List[str] = []
@@ -49,7 +70,9 @@ def directed_ranks(graph: CompactGraph) -> Tuple[List[int], List[int]]:
     rank = [0] * (2 * m)
     for r, slot in enumerate(order):
         rank[slot] = r
-    return rank[0::2], rank[1::2]
+    ranks = (rank[0::2], rank[1::2])
+    graph.derived["directed_ranks"] = ranks
+    return ranks
 
 
 def sequential_flip_kernel(
@@ -154,3 +177,679 @@ def sequential_flip_kernel(
                     unhappy.pop(f, None)
 
     return heads, load, flips, initial_potential, potential, trace
+
+
+# ----------------------------------------------------------------------
+# The phase-based stable orientation algorithm (Theorem 5.1)
+# ----------------------------------------------------------------------
+def stable_orientation_kernel(
+    graph: CompactGraph,
+    *,
+    tie_break: str = "min",
+    seed: int = 0,
+    check_invariants: bool = True,
+    max_phases: Optional[int] = None,
+) -> Tuple[List[int], List[int], int, int, int, List]:
+    """Run the phase-based stable orientation algorithm on int arrays.
+
+    The compact counterpart of
+    :func:`~repro.core.orientation.phases.run_stable_orientation`: every
+    phase's propose/accept exchange runs as ascending edge scans, the
+    per-phase token dropping game is built *directly* as a dense game
+    (:func:`repro.core.token_dropping._kernels.game_from_arrays` — no dict
+    :class:`~repro.core.token_dropping.game.TokenDroppingInstance` or
+    ``to_network`` round-trip), and the game is solved by the compact
+    proposal-game kernel.  Because dense node ids are ``repr``-sorted and
+    edge indices follow the reference's canonical-key ``repr`` order, the
+    reference tie-breaks ("propose to the canonical endpoint on a load
+    tie", "accept the smallest-``repr`` edge", the game's ``min``/``max``/
+    ``random`` policies) are all replayed exactly: orientations, per-phase
+    statistics, and round counts match the dict path bit for bit.
+
+    Returns
+    -------
+    (heads, loads, phases, game_rounds, communication_rounds, per_phase)
+        Dense head id per edge, load per dense node, and the run counters
+        with the per-phase :class:`~repro.core.orientation.phases.
+        PhaseStats` rows.
+    """
+    from repro.core.orientation.phases import (
+        PHASE_OVERHEAD_ROUNDS,
+        PhaseStats,
+    )
+    from repro.core.token_dropping._kernels import (
+        _node_rngs,
+        game_from_arrays,
+        proposal_game_kernel,
+    )
+    from repro.core.token_dropping.proposal import TIE_BREAK_POLICIES
+    from repro.core.token_dropping.traversal import InvalidSolutionError
+
+    n = graph.num_nodes
+    m = graph.num_edges
+    eu = list(graph.edge_u)
+    ev = list(graph.edge_v)
+    ids = graph.node_ids
+
+    if max_phases is None:
+        # Lemma 5.5: the explicit O(Δ) phase budget of the reference path.
+        max_phases = 4 * (graph.max_degree() + 1) + 4
+    if m and tie_break not in TIE_BREAK_POLICIES:
+        # The reference raises when the first phase builds its factory; an
+        # edgeless problem never runs a phase and never validates.
+        raise ValueError(
+            f"unknown tie-break policy {tie_break!r}; "
+            f"expected one of {TIE_BREAK_POLICIES}"
+        )
+
+    heads = [-1] * m
+    load = [0] * n
+    per_phase: List = []
+    phases = 0
+    game_rounds = 0
+    communication_rounds = 0
+    oriented_count = 0
+    # Scratch map from dense node id to per-phase game id (-1 = not in
+    # this phase's game); allocated once and reset after every phase.
+    sub = [-1] * n
+
+    while oriented_count < m:
+        phases += 1
+        if phases > max_phases:
+            raise AlgorithmError(
+                f"stable orientation exceeded the phase budget of {max_phases}; "
+                "this contradicts Lemma 5.5 and indicates a bug"
+            )
+
+        # One fused edge scan per phase.  Steps 1 + 2: every unoriented
+        # edge proposes to its lower-load endpoint (canonical endpoint on
+        # ties) and every proposed-to node accepts its smallest-repr edge
+        # — edge indices are repr-ordered, so the first proposal a node
+        # sees in an ascending scan is the one the reference accepts.
+        # Step 3 input: the oriented edges of badness exactly 1 become
+        # the phase's token dropping game edges (tail = child, head =
+        # parent, Lemma 5.2), with tokens on the accepting nodes.  The
+        # game is restricted to nodes incident to a game edge: every
+        # other node (tokenless, or a token holder with no game
+        # neighbours) halts at round 0 with no LEAVE fan-out in the
+        # reference execution, so dropping it changes neither the
+        # surviving run nor its rounds.
+        accepted_edge: Dict[int, int] = {}
+        proposals = 0
+        game_edges: List[Tuple[int, int, int]] = []
+        participants: List[int] = []
+        for e in range(m):
+            h = heads[e]
+            if h < 0:
+                proposals += 1
+                u = eu[e]
+                v = ev[e]
+                target = v if load[v] < load[u] else u
+                if target not in accepted_edge:
+                    accepted_edge[target] = e
+                continue
+            t = eu[e] if h == ev[e] else ev[e]
+            if load[h] - load[t] == 1:
+                game_edges.append((t, h, e))
+                if sub[t] < 0:
+                    sub[t] = 0
+                    participants.append(t)
+                if sub[h] < 0:
+                    sub[h] = 0
+                    participants.append(h)
+        participants.sort()
+        for i, g in enumerate(participants):
+            sub[g] = i
+        num_participants = len(participants)
+
+        has_token = bytearray(num_participants)
+        for node in accepted_edge:
+            if sub[node] >= 0:
+                has_token[sub[node]] = 1
+        game, payloads = game_from_arrays(
+            num_participants,
+            has_token,
+            [load[g] for g in participants],
+            [(sub[t], sub[h], e) for t, h, e in game_edges],
+        )
+        par_ptr, chi_ptr = game.par_ptr, game.chi_ptr
+        game_degree = 0
+        for i in range(num_participants):
+            degree = (
+                par_ptr[i + 1] - par_ptr[i] + chi_ptr[i + 1] - chi_ptr[i]
+            )
+            if degree > game_degree:
+                game_degree = degree
+        height = max(load) if load else 0
+        # The reference budget: three LOCAL rounds per game round of the
+        # Theorem 4.1 bound computed from this instance's height/degree.
+        max_rounds = 3 * (8 * (height + 1) * (game_degree + 1) ** 2 + 8)
+        _, final_token, _, _, consumed, engine = proposal_game_kernel(
+            game,
+            max_rounds,
+            tie_break=tie_break,
+            rngs=_node_rngs(
+                tie_break, seed, tuple(ids[g] for g in participants)
+            )
+            if tie_break == "random"
+            else None,
+            count_messages=False,
+        )
+
+        for g in participants:
+            sub[g] = -1
+
+        if check_invariants:
+            # Maximality (output rule 3) is the part of the solution
+            # validation that guards Lemma 5.4; rules 1 and 2 hold by
+            # construction of the game kernel.
+            chi_ptr, chi_node, chi_edge = game.chi_ptr, game.chi_node, game.chi_edge
+            for i in range(num_participants):
+                if final_token[i] < 0:
+                    continue
+                for s in range(chi_ptr[i], chi_ptr[i + 1]):
+                    if not consumed[chi_edge[s]] and final_token[chi_node[s]] < 0:
+                        raise InvalidSolutionError(
+                            f"not maximal: token at {ids[participants[i]]!r} can "
+                            f"still move to {ids[participants[chi_node[s]]]!r}"
+                        )
+
+        # Step 4: flip every edge consumed by a pass (each game edge maps
+        # back to its oriented edge through the payload table; flipping is
+        # order-independent because every edge is consumed at most once).
+        edges_flipped = 0
+        for ge in range(game.num_edges):
+            if consumed[ge]:
+                e = payloads[ge]
+                h = heads[e]
+                t = eu[e] if h == ev[e] else ev[e]
+                heads[e] = t
+                load[h] -= 1
+                load[t] += 1
+                edges_flipped += 1
+
+        # Step 5: orient the accepted (previously unoriented) edges.
+        for node, e in accepted_edge.items():
+            heads[e] = node
+            load[node] += 1
+        oriented_count += len(accepted_edge)
+
+        max_badness = 0
+        for e in range(m):
+            h = heads[e]
+            if h < 0:
+                continue
+            t = eu[e] if h == ev[e] else ev[e]
+            badness = load[h] - load[t]
+            if badness > max_badness:
+                max_badness = badness
+        if check_invariants and max_badness > 1:
+            raise AlgorithmError(
+                f"phase {phases} ended with max badness {max_badness} > 1; "
+                "this contradicts Lemma 5.4 and indicates a bug"
+            )
+
+        td_comm_rounds = engine.rounds
+        td_game_rounds = -(-td_comm_rounds // 3)  # ceil, as in reconstruct_solution
+        game_rounds += td_game_rounds + PHASE_OVERHEAD_ROUNDS
+        communication_rounds += td_comm_rounds + PHASE_OVERHEAD_ROUNDS
+        per_phase.append(
+            PhaseStats(
+                phase=phases,
+                proposals=proposals,
+                accepted=len(accepted_edge),
+                tokens=len(accepted_edge),
+                token_dropping_game_rounds=td_game_rounds,
+                token_dropping_communication_rounds=td_comm_rounds,
+                token_dropping_height=height,
+                edges_flipped=edges_flipped,
+                edges_oriented_total=oriented_count,
+                max_badness_after=max_badness,
+            )
+        )
+
+    if check_invariants:
+        violations = []
+        for e in range(m):
+            h = heads[e]
+            t = eu[e] if h == ev[e] else ev[e]
+            if load[h] - load[t] > 1:
+                violations.append(
+                    f"edge {ids[t]!r} -> {ids[h]!r} is unhappy: load({ids[h]!r})="
+                    f"{load[h]} > load({ids[t]!r})+1={load[t] + 1}"
+                )
+        if violations:
+            raise AlgorithmError(
+                "final orientation is not stable: " + "; ".join(violations)
+            )
+
+    return heads, load, phases, game_rounds, communication_rounds, per_phase
+
+
+# ----------------------------------------------------------------------
+# The synchronous repair baseline
+# ----------------------------------------------------------------------
+def repair_kernel(
+    graph: CompactGraph,
+    *,
+    seed: int = 0,
+    max_iterations: Optional[int] = None,
+    initial_heads: Optional[Sequence[int]] = None,
+) -> Tuple[List[int], List[int], "object"]:
+    """Run the synchronous repair baseline on int arrays.
+
+    The compact counterpart of :func:`~repro.core.orientation.repair.
+    synchronous_repair_orientation`.  The reference's only randomness is
+    one ``random.Random(seed)`` consumed first by the coin-per-edge
+    initial orientation (edges in canonical-key ``repr`` order, which is
+    edge-index order) and then by ``rng.shuffle`` over the repr-sorted
+    unhappy list each iteration.  ``shuffle``'s stream consumption depends
+    only on the list length, so shuffling the rank-sorted edge-index list
+    yields the exact reference permutation — the per-iteration flip sets,
+    statistics, and final orientation all match bit for bit.
+
+    ``initial_heads`` is the dense head id per edge index (default: the
+    seeded random complete orientation of the reference path).
+    """
+    from repro.core.orientation.repair import (
+        ROUNDS_PER_REPAIR_ITERATION,
+        RepairRunStats,
+    )
+
+    rng = random.Random(seed)
+    n = graph.num_nodes
+    m = graph.num_edges
+    eu = list(graph.edge_u)
+    ev = list(graph.edge_v)
+    indptr = list(graph.indptr)
+    slot_edge = list(graph.slot_edge)
+    rank_to_v, rank_to_u = directed_ranks(graph)
+
+    if initial_heads is None:
+        heads = [ev[e] if rng.random() < 0.5 else eu[e] for e in range(m)]
+    else:
+        heads = list(initial_heads)
+    tails = [eu[e] if heads[e] == ev[e] else ev[e] for e in range(m)]
+
+    load = [0] * n
+    for h in heads:
+        load[h] += 1
+
+    if max_iterations is None:
+        max_iterations = (
+            sum((indptr[i + 1] - indptr[i]) ** 2 for i in range(n)) + 1
+        )
+
+    # Unhappy edges tracked incrementally (a flip changes two loads, so
+    # only edges incident to those nodes change state), keyed to the rank
+    # of their current (tail, head) repr — the reference's sort order.
+    unhappy: Dict[int, int] = {}
+    for e in range(m):
+        h = heads[e]
+        if load[h] - load[tails[e]] > 1:
+            unhappy[e] = rank_to_v[e] if h == ev[e] else rank_to_u[e]
+
+    stats = RepairRunStats(initial_unhappy=len(unhappy))
+
+    while unhappy:
+        if stats.iterations >= max_iterations:
+            raise RuntimeError(
+                f"repair baseline exceeded {max_iterations} iterations; "
+                "the potential argument guarantees this cannot happen"
+            )
+
+        # Greedy conflict-free selection: no node participates in two
+        # flips.  The shuffle permutes the rank-sorted edge list exactly
+        # like the reference's shuffle of the repr-sorted tuple list
+        # (shuffle's stream consumption depends only on the length).
+        batch = sorted(unhappy, key=unhappy.__getitem__)
+        rng.shuffle(batch)
+        used = bytearray(n)
+        selected: List[int] = []
+        for e in batch:
+            t = tails[e]
+            h = heads[e]
+            if used[t] or used[h]:
+                continue
+            selected.append(e)
+            used[t] = 1
+            used[h] = 1
+
+        for e in selected:
+            t = tails[e]
+            h = heads[e]
+            heads[e] = t
+            tails[e] = h
+            load[h] -= 1
+            load[t] += 1
+
+        # A tracked rank is never stale: an edge's direction only changes
+        # when it flips, and a flipped edge is happy right after its
+        # iteration (its endpoints saw no other flip), so it left the
+        # dict.  Membership checks therefore suffice for unchanged edges.
+        for e in selected:
+            for x in (tails[e], heads[e]):
+                for s in range(indptr[x], indptr[x + 1]):
+                    f = slot_edge[s]
+                    fh = heads[f]
+                    if load[fh] - load[tails[f]] > 1:
+                        if f not in unhappy:
+                            unhappy[f] = (
+                                rank_to_v[f] if fh == ev[f] else rank_to_u[f]
+                            )
+                    elif f in unhappy:
+                        del unhappy[f]
+
+        stats.iterations += 1
+        stats.communication_rounds += ROUNDS_PER_REPAIR_ITERATION
+        stats.total_flips += len(selected)
+        stats.flips_per_iteration.append(len(selected))
+
+    return heads, load, stats
+
+
+# ----------------------------------------------------------------------
+# The k-bounded stable orientation algorithm (Sections 1.4 / 7.3)
+# ----------------------------------------------------------------------
+def _edge_customer_ranks(graph: CompactGraph):
+    """Repr-rank tables of the edge-customer view, memoized on the graph.
+
+    Edge customers are labelled ``("edge", u, v)`` with endpoints in
+    repr-sorted order; dense interning is repr-sorted, so the label's
+    endpoint order is (min, max) of the dense endpoints.  Returns
+    ``(lo, hi, labels, cust_order, pair_rank)`` where ``cust_order`` is
+    the ascending customer-``repr`` scan order and ``pair_rank`` ranks the
+    ``repr`` of every ``(endpoint, label)`` tuple — the candidate
+    universe of the hypergraph game's ``choose``.
+    """
+    cached = graph.derived.get("edge_customer_ranks")
+    if cached is not None:
+        return cached
+    ids = graph.node_ids
+    m = graph.num_edges
+    lo = [0] * m
+    hi = [0] * m
+    labels = []
+    for e in range(m):
+        u, v = graph.edge_u[e], graph.edge_v[e]
+        if u > v:
+            u, v = v, u
+        lo[e] = u
+        hi[e] = v
+        labels.append(("edge", ids[u], ids[v]))
+
+    label_reprs = [repr(label) for label in labels]
+    cust_order = sorted(range(m), key=label_reprs.__getitem__)
+
+    pair_reprs: List[str] = []
+    for e in range(m):
+        pair_reprs.append(repr((ids[lo[e]], labels[e])))
+        pair_reprs.append(repr((ids[hi[e]], labels[e])))
+    order = sorted(range(2 * m), key=pair_reprs.__getitem__)
+    pair_rank = [0] * (2 * m)
+    for r, slot in enumerate(order):
+        pair_rank[slot] = r
+
+    cached = (lo, hi, labels, cust_order, pair_rank)
+    graph.derived["edge_customer_ranks"] = cached
+    return cached
+
+
+def bounded_orientation_kernel(
+    graph: CompactGraph,
+    *,
+    k: int = 2,
+    tie_break: str = "min",
+    seed: int = 0,
+    check_invariants: bool = True,
+) -> Tuple[List[int], List[int], int, int, List]:
+    """Run the k-bounded stable orientation algorithm on int arrays.
+
+    The compact counterpart of :func:`~repro.core.orientation.bounded.
+    run_bounded_stable_orientation`, which the reference path solves by
+    translating every edge ``{u, v}`` into a degree-2 customer
+    ``("edge", u, v)`` and running the Section 7 assignment phases with
+    effective loads ``min(load, k)``.  This kernel runs that edge-customer
+    specialisation directly: the per-phase propose/accept exchange scans
+    edges in customer-``repr`` order, and the embedded rank-2 hypergraph
+    proposal games (Theorem 7.1) run on flat arrays with the reference's
+    ``repr`` tie-breaks replayed through two precomputed rank tables —
+    customer-label ranks for the accept step and ``(vertex, customer)``
+    pair ranks for the game's ``choose``.  Assignments, per-phase
+    statistics, and game-round counts match the dict path bit for bit.
+
+    Returns
+    -------
+    (choice, loads, phases, game_rounds, per_phase)
+        Dense assigned-server (head) per edge, load per dense node, and
+        the run counters with the per-phase :class:`~repro.core.
+        assignment.algorithm.AssignmentPhaseStats` rows.
+    """
+    from repro.core.assignment.algorithm import (
+        PHASE_OVERHEAD_ROUNDS,
+        AssignmentPhaseStats,
+    )
+    from repro.core.token_dropping.hypergraph_game import (
+        HypergraphRoundLimitExceeded,
+    )
+
+    n = graph.num_nodes
+    m = graph.num_edges
+    ids = graph.node_ids
+    indptr = list(graph.indptr)
+    slot_edge = list(graph.slot_edge)
+
+    lo, hi, labels, cust_order, pair_rank = _edge_customer_ranks(graph)
+
+    def prank(vertex: int, e: int) -> int:
+        return pair_rank[2 * e] if vertex == lo[e] else pair_rank[2 * e + 1]
+
+    load = [0] * n
+    choice = [-1] * m
+    assigned = 0
+    phases = 0
+    game_rounds = 0
+    per_phase: List = []
+    # Unassigned customers in customer-repr order; filtering preserves the
+    # relative order, so later phases scan only what is left.
+    pending = cust_order
+
+    # Lemma 7.2: the explicit O(C·S) phase budget (C = 2 for edges).
+    max_customer_degree = 2 if m else 0
+    max_phases = 4 * (max_customer_degree + 1) * (graph.max_degree() + 1) + 4
+
+    while assigned < m:
+        phases += 1
+        if phases > max_phases:
+            raise AlgorithmError(
+                f"stable assignment exceeded the phase budget of {max_phases}; "
+                "this contradicts Lemma 7.2 and indicates a bug"
+            )
+        level = [x if x < k else k for x in load]
+
+        # Step 1: every unassigned customer proposes to its least
+        # effectively loaded endpoint (smaller repr on ties).  Step 2:
+        # every proposed-to server accepts its smallest-repr customer,
+        # which is the first one to reach it in customer-repr order.
+        accepted: Dict[int, int] = {}
+        if phases > 1:
+            pending = [e for e in pending if choice[e] < 0]
+        unassigned = len(pending)
+        for e in pending:
+            a, b = lo[e], hi[e]
+            target = a if level[a] <= level[b] else b
+            if target not in accepted:
+                accepted[target] = e
+
+        # Step 3: the per-phase hypergraph token dropping instance —
+        # levels are effective loads, hyperedges the assigned customers of
+        # badness exactly 1 (head = assigned server), tokens on accepting
+        # servers.
+        live = bytearray(m)
+        game_hyperedges = 0
+        incidence = [0] * n
+        game_vertex_set: List[int] = []
+        for e in range(m):
+            h = choice[e]
+            if h < 0:
+                continue
+            other = lo[e] if h == hi[e] else hi[e]
+            if level[h] - level[other] == 1:
+                live[e] = 1
+                game_hyperedges += 1
+                if not incidence[lo[e]]:
+                    game_vertex_set.append(lo[e])
+                if not incidence[hi[e]]:
+                    game_vertex_set.append(hi[e])
+                incidence[lo[e]] += 1
+                incidence[hi[e]] += 1
+
+        occupied = bytearray(n)
+        for server in accepted:
+            occupied[server] = 1
+
+        height = max(level) if level else 0
+        max_vertex_degree = max(incidence) if incidence else 0
+        max_game_rounds = 8 * (height + 1) * (max_vertex_degree + 1) ** 2 + 8
+
+        # The Theorem 7.1 proposal strategy on the rank-2 game: unoccupied
+        # vertices propose to an occupied head over a live hyperedge,
+        # every proposed-to head passes its token to one proposer.  Only
+        # endpoints of live hyperedges can ever have options, so the
+        # per-round scan skips every other vertex (the reference scans
+        # them too, but they make no choices and consume no randomness).
+        game_vertex_set.sort()
+        game_vertices = game_vertex_set
+        rng = random.Random(seed)
+        rounds = 0
+        passes: List[Tuple[int, int]] = []
+        while True:
+            proposals: Dict[int, List[Tuple[int, int]]] = {}
+            for v in game_vertices:
+                if occupied[v]:
+                    continue
+                options: List[Tuple[int, int]] = []
+                for s in range(indptr[v], indptr[v + 1]):
+                    e = slot_edge[s]
+                    if not live[e]:
+                        continue
+                    h = choice[e]
+                    if h == v or not occupied[h]:
+                        continue
+                    options.append((h, e))
+                if not options:
+                    continue
+                if tie_break == "min":
+                    parent, e = min(options, key=lambda he: prank(*he))
+                elif tie_break == "max":
+                    parent, e = max(options, key=lambda he: prank(*he))
+                elif tie_break == "random":
+                    options.sort(key=lambda he: prank(*he))
+                    parent, e = options[rng.randrange(len(options))]
+                else:
+                    raise ValueError(f"unknown tie-break policy {tie_break!r}")
+                proposals.setdefault(parent, []).append((v, e))
+
+            if not proposals:
+                break
+            rounds += 1
+            if rounds > max_game_rounds:
+                raise HypergraphRoundLimitExceeded(
+                    f"hypergraph proposal engine exceeded {max_game_rounds} "
+                    "game rounds"
+                )
+
+            for parent, requests in proposals.items():
+                if tie_break == "min":
+                    child, e = min(requests, key=lambda ce: prank(*ce))
+                elif tie_break == "max":
+                    child, e = max(requests, key=lambda ce: prank(*ce))
+                else:
+                    requests.sort(key=lambda ce: prank(*ce))
+                    child, e = requests[rng.randrange(len(requests))]
+                occupied[parent] = 0
+                occupied[child] = 1
+                live[e] = 0
+                passes.append((e, child))
+
+        if check_invariants:
+            # Maximality of the game outcome (the only validation rule not
+            # guaranteed by construction): no occupied head may still have
+            # a live hyperedge towards an unoccupied child.
+            for e in range(m):
+                if not live[e]:
+                    continue
+                h = choice[e]
+                if h < 0 or not occupied[h]:
+                    continue
+                other = lo[e] if h == hi[e] else hi[e]
+                if not occupied[other]:
+                    raise AlgorithmError(
+                        "invalid hypergraph token dropping solution: "
+                        f"not maximal at customer {labels[e]!r}"
+                    )
+
+        # Step 4: move assignments along the passes (each consumed
+        # hyperedge moved its customer one step to the pass target).
+        for e, child in passes:
+            load[choice[e]] -= 1
+            load[child] += 1
+            choice[e] = child
+        reassignments = len(passes)
+
+        # Step 5: assign the accepted customers to their accepting servers.
+        for server, e in accepted.items():
+            choice[e] = server
+            load[server] += 1
+        assigned += len(accepted)
+
+        max_badness = 0
+        level = [x if x < k else k for x in load]
+        for e in range(m):
+            h = choice[e]
+            if h < 0:
+                continue
+            other = lo[e] if h == hi[e] else hi[e]
+            badness = level[h] - level[other]
+            if badness > max_badness:
+                max_badness = badness
+        if check_invariants and max_badness > 1:
+            raise AlgorithmError(
+                f"phase {phases} ended with max badness {max_badness} > 1; "
+                "this contradicts the Section 7.2 invariant and indicates a bug"
+            )
+
+        td_rounds = rounds
+        game_rounds += td_rounds + PHASE_OVERHEAD_ROUNDS
+        per_phase.append(
+            AssignmentPhaseStats(
+                phase=phases,
+                proposals=unassigned,
+                accepted=len(accepted),
+                tokens=len(accepted),
+                game_hyperedges=game_hyperedges,
+                token_dropping_game_rounds=td_rounds,
+                token_dropping_height=height,
+                reassignments=reassignments,
+                customers_assigned_total=assigned,
+                max_badness_after=max_badness,
+            )
+        )
+
+    if check_invariants:
+        violations = []
+        level = [x if x < k else k for x in load]
+        for e in range(m):
+            h = choice[e]
+            other = lo[e] if h == hi[e] else hi[e]
+            if level[h] - level[other] > 1:
+                violations.append(
+                    f"customer {labels[e]!r} on server {ids[h]!r} (load "
+                    f"{load[h]}) has a strictly better server available"
+                )
+        if violations:
+            raise AlgorithmError(
+                "final assignment is not stable: " + "; ".join(violations)
+            )
+
+    return choice, load, phases, game_rounds, per_phase

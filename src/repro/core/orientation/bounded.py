@@ -22,12 +22,18 @@ back to an :class:`~repro.core.orientation.problem.Orientation`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, List, Optional
+from typing import Hashable, List, Optional, Union
 
 from repro.core.assignment.bounded import run_bounded_stable_assignment
 from repro.core.assignment.algorithm import StableAssignmentResult
-from repro.core.orientation.problem import Orientation, OrientationProblem
+from repro.core.orientation.problem import (
+    Orientation,
+    OrientationProblem,
+    orientation_from_dense,
+)
+from repro.dispatch import resolve_backend
 from repro.graphs.bipartite import CustomerServerGraph
+from repro.graphs.compact import CompactGraph
 
 NodeId = Hashable
 
@@ -76,27 +82,46 @@ def bounded_unhappy_edges(orientation: Orientation, k: int = 2) -> List[tuple]:
 
 
 def run_bounded_stable_orientation(
-    problem: OrientationProblem,
+    problem: Union[OrientationProblem, CompactGraph],
     *,
     k: int = 2,
     tie_break: str = "min",
     seed: int = 0,
     check_invariants: bool = True,
+    backend: Optional[str] = None,
 ) -> BoundedOrientationResult:
     """Solve the 0–1–many (k-bounded) stable orientation problem.
 
     Parameters
     ----------
     problem:
-        The undirected graph whose edges must be oriented.
+        The undirected graph whose edges must be oriented — either the
+        reference :class:`OrientationProblem` or a pre-interned
+        :class:`~repro.graphs.compact.CompactGraph`.
     k:
         Relaxation threshold (≥ 2); ``k = 2`` is the 0–1–many version of
         Section 1.4.
     tie_break, seed, check_invariants:
         Passed through to the underlying k-bounded assignment algorithm.
+    backend:
+        ``"compact"`` / ``"dict"`` / ``"auto"`` (default; see
+        :mod:`repro.dispatch`).  The compact fast path runs the
+        edge-customer specialisation of the assignment phases on flat int
+        arrays and produces identical results, including the embedded
+        :class:`StableAssignmentResult`.
     """
     if k < 2:
         raise ValueError(f"the k-bounded relaxation requires k >= 2, got {k}")
+    if resolve_backend(backend) == "compact":
+        return _run_bounded_compact(
+            problem,
+            k=k,
+            tie_break=tie_break,
+            seed=seed,
+            check_invariants=check_invariants,
+        )
+    if isinstance(problem, CompactGraph):
+        problem = problem.to_orientation_problem()
     graph = CustomerServerGraph.from_orientation_graph(problem.edges)
     orientation = Orientation(problem)
 
@@ -123,6 +148,93 @@ def run_bounded_stable_orientation(
         k=k,
         phases=result.phases,
         game_rounds=result.game_rounds,
+        assignment_result=result,
+    )
+
+
+def _run_bounded_compact(
+    problem: Union[OrientationProblem, CompactGraph],
+    *,
+    k: int,
+    tie_break: str,
+    seed: int,
+    check_invariants: bool,
+) -> BoundedOrientationResult:
+    """Fast path: intern once, run the phase kernel, wrap the results.
+
+    The embedded :class:`StableAssignmentResult` is rebuilt through the
+    trusted reference constructors in one pass, so callers see exactly the
+    objects the dict path produces.
+    """
+    from repro.core.assignment.problem import Assignment
+    from repro.core.orientation._kernels import bounded_orientation_kernel
+
+    if isinstance(problem, CompactGraph):
+        compact = problem
+    else:
+        compact = CompactGraph.from_orientation_problem(problem)
+    ref_problem = compact.to_orientation_problem()
+
+    if not compact.num_edges:
+        # Nothing to orient; trivially stable.
+        return BoundedOrientationResult(
+            orientation=Orientation(ref_problem),
+            k=k,
+            phases=0,
+            game_rounds=0,
+            assignment_result=None,
+        )
+
+    choice, loads, phases, game_rounds, per_phase = bounded_orientation_kernel(
+        compact,
+        k=k,
+        tie_break=tie_break,
+        seed=seed,
+        check_invariants=check_invariants,
+    )
+
+    ids = compact.node_ids
+    orientation = orientation_from_dense(
+        ref_problem, ids, compact.edge_keys(), choice, loads
+    )
+
+    # Rebuild the reference assignment view through trusted constructors:
+    # the kernel guarantees every edge customer has exactly its two
+    # distinct endpoints as servers, so no per-edge validation is needed.
+    customer_adjacency = {}
+    server_members: dict = {}
+    choices = {}
+    for e in range(compact.num_edges):
+        u, v = compact.edge_u[e], compact.edge_v[e]
+        if u > v:
+            u, v = v, u
+        label = ("edge", ids[u], ids[v])
+        customer_adjacency[label] = frozenset((ids[u], ids[v]))
+        server_members.setdefault(u, []).append(label)
+        server_members.setdefault(v, []).append(label)
+        choices[label] = ids[choice[e]]
+    server_dense = sorted(server_members)
+    graph = CustomerServerGraph.from_validated_adjacency(
+        customer_adjacency,
+        {ids[i]: frozenset(server_members[i]) for i in server_dense},
+    )
+    assignment = Assignment.__new__(Assignment)
+    assignment.graph = graph
+    assignment._choice = choices
+    assignment._load = {ids[i]: loads[i] for i in server_dense}
+
+    result = StableAssignmentResult(
+        assignment=assignment,
+        phases=phases,
+        game_rounds=game_rounds,
+        k=k,
+        per_phase=per_phase,
+    )
+    return BoundedOrientationResult(
+        orientation=orientation,
+        k=k,
+        phases=phases,
+        game_rounds=game_rounds,
         assignment_result=result,
     )
 

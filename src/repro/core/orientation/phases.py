@@ -34,16 +34,19 @@ game rounds + overhead) and raw LOCAL communication rounds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple, Union
 
 from repro.core.orientation.problem import (
     Orientation,
     OrientationProblem,
     check_stable,
     edge_key,
+    orientation_from_dense,
 )
 from repro.core.token_dropping.game import TokenDroppingInstance
 from repro.core.token_dropping.proposal import run_proposal_algorithm
+from repro.dispatch import resolve_backend
+from repro.graphs.compact import CompactGraph
 from repro.graphs.layered import LayeredGraph
 from repro.local_model.errors import AlgorithmError
 
@@ -118,19 +121,22 @@ def _build_token_dropping_instance(
 
 
 def run_stable_orientation(
-    problem: OrientationProblem,
+    problem: Union[OrientationProblem, CompactGraph],
     *,
     tie_break: str = "min",
     seed: int = 0,
     check_invariants: bool = True,
     max_phases: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> StableOrientationResult:
     """Find a stable orientation with the token-dropping-based algorithm.
 
     Parameters
     ----------
     problem:
-        The undirected graph to orient.
+        The undirected graph to orient — either the reference
+        :class:`OrientationProblem` or a pre-interned
+        :class:`~repro.graphs.compact.CompactGraph`.
     tie_break, seed:
         Passed to the embedded token dropping proposal algorithm.
     check_invariants:
@@ -140,11 +146,28 @@ def run_stable_orientation(
     max_phases:
         Budget on the number of phases; defaults to the Lemma 5.5 bound,
         so exceeding it fails loudly.
+    backend:
+        ``"compact"`` / ``"dict"`` / ``"auto"`` (default; see
+        :mod:`repro.dispatch`).  The compact fast path runs every phase —
+        propose/accept, the embedded token dropping game, flips — on flat
+        int arrays and produces identical results; ``"dict"`` forces the
+        full reference chain including the per-node token dropping
+        scheduler.
 
     Returns
     -------
     StableOrientationResult
     """
+    if resolve_backend(backend) == "compact":
+        return _run_stable_orientation_compact(
+            problem,
+            tie_break=tie_break,
+            seed=seed,
+            check_invariants=check_invariants,
+            max_phases=max_phases,
+        )
+    if isinstance(problem, CompactGraph):
+        problem = problem.to_orientation_problem()
     orientation = Orientation(problem)
     if max_phases is None:
         max_phases = theoretical_phase_bound(problem)
@@ -180,9 +203,12 @@ def run_stable_orientation(
         for node, edges in proposals_by_node.items():
             accepted_nodes[node] = sorted(edges, key=repr)[0]
 
-        # Step 3: build and solve the token dropping instance.
+        # Step 3: build and solve the token dropping instance (forcing the
+        # reference scheduler, so backend="dict" is the full dict chain).
         instance = _build_token_dropping_instance(problem, orientation, accepted_nodes)
-        solution = run_proposal_algorithm(instance, tie_break=tie_break, seed=seed)
+        solution = run_proposal_algorithm(
+            instance, tie_break=tie_break, seed=seed, backend="dict"
+        )
         if check_invariants:
             solution.validate(instance).raise_if_invalid()
 
@@ -233,6 +259,48 @@ def run_stable_orientation(
     return StableOrientationResult(
         orientation=orientation,
         phases=phase_index,
+        game_rounds=game_rounds,
+        communication_rounds=communication_rounds,
+        per_phase=per_phase,
+    )
+
+
+def _run_stable_orientation_compact(
+    problem: Union[OrientationProblem, CompactGraph],
+    *,
+    tie_break: str,
+    seed: int,
+    check_invariants: bool,
+    max_phases: Optional[int],
+) -> StableOrientationResult:
+    """Fast path: intern once, run the phase kernel, wrap the result."""
+    from repro.core.orientation._kernels import stable_orientation_kernel
+
+    if isinstance(problem, CompactGraph):
+        compact = problem
+    else:
+        compact = CompactGraph.from_orientation_problem(problem)
+
+    heads, loads, phases, game_rounds, communication_rounds, per_phase = (
+        stable_orientation_kernel(
+            compact,
+            tie_break=tie_break,
+            seed=seed,
+            check_invariants=check_invariants,
+            max_phases=max_phases,
+        )
+    )
+
+    orientation = orientation_from_dense(
+        compact.to_orientation_problem(),
+        compact.node_ids,
+        compact.edge_keys(),
+        heads,
+        loads,
+    )
+    return StableOrientationResult(
+        orientation=orientation,
+        phases=phases,
         game_rounds=game_rounds,
         communication_rounds=communication_rounds,
         per_phase=per_phase,

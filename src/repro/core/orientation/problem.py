@@ -201,7 +201,9 @@ class Orientation:
     def unoriented_edges(self) -> Tuple[EdgeKey, ...]:
         """Edges not yet oriented, in deterministic order."""
         return tuple(
-            sorted((k for k in self.problem.edge_keys if k not in self._heads), key=repr)
+            sorted(
+                (k for k in self.problem.edge_keys if k not in self._heads), key=repr
+            )
         )
 
     def num_oriented(self) -> int:
@@ -271,9 +273,36 @@ class Orientation:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"Orientation(oriented={self.num_oriented()}/{len(self.problem.edge_keys)}, "
+            f"Orientation(oriented={self.num_oriented()}"
+            f"/{len(self.problem.edge_keys)}, "
             f"max_load={self.max_load()}, unhappy={len(self.unhappy_edges())})"
         )
+
+
+def orientation_from_dense(
+    problem: OrientationProblem,
+    node_ids: Tuple[NodeId, ...],
+    edge_keys: Tuple[EdgeKey, ...],
+    heads,
+    loads,
+) -> Orientation:
+    """Trusted construction of an :class:`Orientation` from dense kernel output.
+
+    ``heads[e]`` / ``loads[i]`` are dense head ids per edge and loads per
+    node as produced by the compact kernels; ``node_ids`` / ``edge_keys``
+    are the interning tables of the corresponding
+    :class:`~repro.graphs.compact.CompactGraph`.  Bypasses the per-edge
+    validation of :meth:`Orientation.orient` (the kernels only emit
+    endpoints of existing edges), so wrapping a kernel result costs one
+    dict build instead of ``m`` validated orient calls.
+    """
+    orientation = Orientation.__new__(Orientation)
+    orientation.problem = problem
+    orientation._heads = {
+        key: node_ids[heads[e]] for e, key in enumerate(edge_keys)
+    }
+    orientation._load = {node_ids[i]: loads[i] for i in range(len(node_ids))}
+    return orientation
 
 
 def arbitrary_complete_orientation(

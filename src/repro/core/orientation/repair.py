@@ -28,13 +28,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Hashable, List, Optional, Set, Tuple
+from typing import Hashable, List, Optional, Set, Tuple, Union
 
 from repro.core.orientation.problem import (
     Orientation,
     OrientationProblem,
     arbitrary_complete_orientation,
+    orientation_from_dense,
 )
+from repro.dispatch import resolve_backend
+from repro.graphs.compact import CompactGraph
 
 NodeId = Hashable
 
@@ -55,18 +58,21 @@ class RepairRunStats:
 
 
 def synchronous_repair_orientation(
-    problem: OrientationProblem,
+    problem: Union[OrientationProblem, CompactGraph],
     *,
     initial: Optional[Orientation] = None,
     seed: int = 0,
     max_iterations: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[Orientation, RepairRunStats]:
     """Repair an arbitrary complete orientation into a stable one.
 
     Parameters
     ----------
     problem:
-        The undirected graph to orient.
+        The undirected graph to orient — either the reference
+        :class:`OrientationProblem` or a pre-interned
+        :class:`~repro.graphs.compact.CompactGraph`.
     initial:
         Starting complete orientation; defaults to a seeded random one
         (matching the "arbitrary orientation" of the prior work).
@@ -77,11 +83,22 @@ def synchronous_repair_orientation(
     max_iterations:
         Safety valve; defaults to ``Σ deg(v)² + 1`` which bounds the total
         number of flips and hence iterations.
+    backend:
+        ``"compact"`` / ``"dict"`` / ``"auto"`` (default; see
+        :mod:`repro.dispatch`).  Both backends produce identical
+        orientations and statistics; the compact fast path replays the
+        seeded shuffle on flat int arrays.
 
     Returns
     -------
     (orientation, stats)
     """
+    if resolve_backend(backend) == "compact":
+        return _synchronous_repair_compact(
+            problem, initial=initial, seed=seed, max_iterations=max_iterations
+        )
+    if isinstance(problem, CompactGraph):
+        problem = problem.to_orientation_problem()
     rng = random.Random(seed)
     orientation = (
         initial.copy()
@@ -125,4 +142,59 @@ def synchronous_repair_orientation(
         stats.total_flips += len(selected)
         stats.flips_per_iteration.append(len(selected))
 
+    return orientation, stats
+
+
+def _synchronous_repair_compact(
+    problem: Union[OrientationProblem, CompactGraph],
+    *,
+    initial: Optional[Orientation],
+    seed: int,
+    max_iterations: Optional[int],
+) -> Tuple[Orientation, RepairRunStats]:
+    """Fast path: intern once, run the int-array kernel, wrap the result."""
+    from repro.core.orientation._kernels import repair_kernel
+
+    if initial is not None:
+        if not initial.is_complete():
+            raise ValueError(
+                "the repair baseline needs a complete initial orientation"
+            )
+        compact = CompactGraph.from_orientation_problem(initial.problem)
+        ref_problem = initial.problem
+        initial_heads = [
+            compact.index_of[initial.head_of(u, v)] for u, v in compact.edge_keys()
+        ]
+    elif isinstance(problem, CompactGraph):
+        compact = problem
+        ref_problem = None  # resolved lazily below
+        initial_heads = None
+    else:
+        compact = CompactGraph.from_orientation_problem(problem)
+        ref_problem = problem
+        initial_heads = None
+
+    if max_iterations is None and initial is not None:
+        # The reference sizes the safety valve from `problem` even when
+        # `initial` brings its own graph; mirror that.
+        if isinstance(problem, CompactGraph):
+            ptr = problem.indptr
+            max_iterations = (
+                sum((ptr[i + 1] - ptr[i]) ** 2 for i in range(problem.num_nodes)) + 1
+            )
+        else:
+            max_iterations = sum(problem.degree(x) ** 2 for x in problem.nodes) + 1
+
+    heads, loads, stats = repair_kernel(
+        compact,
+        seed=seed,
+        max_iterations=max_iterations,
+        initial_heads=initial_heads,
+    )
+
+    if ref_problem is None:
+        ref_problem = compact.to_orientation_problem()
+    orientation = orientation_from_dense(
+        ref_problem, compact.node_ids, compact.edge_keys(), heads, loads
+    )
     return orientation, stats

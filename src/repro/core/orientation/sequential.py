@@ -26,6 +26,7 @@ from repro.core.orientation.problem import (
     Orientation,
     OrientationProblem,
     arbitrary_complete_orientation,
+    orientation_from_dense,
 )
 from repro.dispatch import resolve_backend
 from repro.graphs.compact import CompactGraph
@@ -115,10 +116,14 @@ def sequential_flip_algorithm(
         problem = problem.to_orientation_problem()
     rng = random.Random(seed)
     orientation = (
-        initial.copy() if initial is not None else arbitrary_complete_orientation(problem)
+        initial.copy()
+        if initial is not None
+        else arbitrary_complete_orientation(problem)
     )
     if not orientation.is_complete():
-        raise ValueError("the sequential flip algorithm needs a complete initial orientation")
+        raise ValueError(
+            "the sequential flip algorithm needs a complete initial orientation"
+        )
 
     if max_flips is None:
         max_flips = sum(problem.degree(n) ** 2 for n in problem.nodes) + 1
@@ -222,12 +227,9 @@ def _sequential_flip_compact(
 
     if ref_problem is None:
         ref_problem = compact.to_orientation_problem()
-    ids = compact.node_ids
-    orientation = Orientation(ref_problem)
-    orientation._heads = {
-        key: ids[heads[e]] for e, key in enumerate(compact.edge_keys())
-    }
-    orientation._load = {ids[i]: loads[i] for i in range(len(ids))}
+    orientation = orientation_from_dense(
+        ref_problem, compact.node_ids, compact.edge_keys(), heads, loads
+    )
 
     stats = SequentialRunStats(
         flips=flips,

@@ -178,6 +178,78 @@ class _DenseGame:
         return cls._build(len(node_ids), rows()), node_ids, index_of
 
 
+def game_from_arrays(
+    num_nodes: int,
+    has_token,
+    levels,
+    edges,
+) -> Tuple[_DenseGame, List[int]]:
+    """Build a dense game directly from int arrays (no dict instance).
+
+    The instance-from-arrays entry point used by the compact orientation
+    phase driver: callers that already hold dense node ids never pay for a
+    dict :class:`TokenDroppingInstance`/``to_network`` round-trip.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of dense nodes; all arrays are indexed ``0 .. num_nodes-1``.
+    has_token / levels:
+        Per-node token flag and level (the caller's loads).
+    edges:
+        List of ``(child, parent, payload)`` triples (``payload`` is an
+        arbitrary caller-side edge index).  Order is irrelevant: the CSR
+        lists are counting-sorted into the ascending per-node order the
+        reference tie-breaks require (dense interning is ``repr``-sorted,
+        so ascending dense order is reference order).
+
+    Returns
+    -------
+    (game, payloads)
+        The dense game plus ``payloads[game_edge]`` echoing the caller's
+        payload of each directed game edge.
+    """
+    game = _DenseGame(num_nodes)
+    for i in range(num_nodes):
+        if has_token[i]:
+            game.has_token[i] = 1
+        level = levels[i]
+        if level:
+            game.level[i] = level
+
+    num_edges = len(edges)
+    game.num_edges = num_edges
+    # Game edge ids follow the (child, parent)-sorted order, which makes
+    # the parent CSR a straight copy and keeps both adjacency lists
+    # ascending per node.
+    edges = sorted(edges)
+    par_ptr = game.par_ptr
+    chi_ptr = game.chi_ptr
+    for c, p, _ in edges:
+        par_ptr[c + 1] += 1
+        chi_ptr[p + 1] += 1
+    for i in range(num_nodes):
+        par_ptr[i + 1] += par_ptr[i]
+        chi_ptr[i + 1] += chi_ptr[i]
+
+    game.par_node = [0] * num_edges
+    game.par_edge = list(range(num_edges))
+    game.chi_node = [0] * num_edges
+    game.chi_edge = [0] * num_edges
+    payloads = [0] * num_edges
+    par_node = game.par_node
+    chi_node, chi_edge = game.chi_node, game.chi_edge
+    cursor = chi_ptr[:num_nodes]
+    for ge, (c, p, payload) in enumerate(edges):
+        par_node[ge] = p
+        payloads[ge] = payload
+        slot = cursor[p]
+        chi_node[slot] = c
+        chi_edge[slot] = ge
+        cursor[p] = slot + 1
+    return game, payloads
+
+
 def _node_rngs(
     tie_break: str, seed: int, node_ids: Tuple
 ) -> Optional[List[random.Random]]:
@@ -240,19 +312,31 @@ def _halt_outputs(ids, initially, has_token, token, received, passed) -> List[di
 # ----------------------------------------------------------------------
 # The distributed proposal algorithm (Theorem 4.1)
 # ----------------------------------------------------------------------
-def proposal_kernel(
-    net: CompactNetwork,
+def proposal_game_kernel(
+    game: _DenseGame,
     max_rounds: int,
     *,
     tie_break: str = "min",
-    seed: int = 0,
-) -> Tuple[List[dict], ExecutionMetrics]:
-    """Simulate the proposal algorithm's execution on flat int arrays.
+    rngs: Optional[List[random.Random]] = None,
+    count_messages: bool = True,
+) -> Tuple[bytearray, List[int], List, List, bytearray, CompactEngine]:
+    """Run the proposal algorithm's execution loop on a dense game.
 
-    Returns per-dense-node outputs (the dicts the reference nodes pass to
-    ``ctx.halt``) and reference-equal execution metrics.
+    The shared core behind :func:`proposal_kernel` (which wraps a
+    :class:`CompactNetwork`) and the compact orientation phase driver
+    (which builds per-phase games via :func:`game_from_arrays`).  Returns
+    the dense end state ``(has_token, token, received, passed, consumed,
+    engine)``: ``consumed[game_edge]`` marks exactly the edges used by
+    passes, and ``engine`` carries the reference-equal round/message/halt
+    bookkeeping.
+
+    ``count_messages=False`` skips the LEAVE/announce delivery accounting
+    (``engine.messages`` is then meaningless) while keeping the
+    termination-driving counter decrements — rounds, halts, passes, and
+    consumed edges are unchanged.  Callers that only need the game
+    outcome and round count (the orientation phase driver) use it to
+    avoid the per-death delivery checks.
     """
-    game = _DenseGame.of(net)
     n = game.num_nodes
     engine = CompactEngine(n, max_rounds)
     alive = engine.alive
@@ -260,14 +344,12 @@ def proposal_kernel(
     chi_ptr, chi_node, chi_edge = game.chi_ptr, game.chi_node, game.chi_edge
 
     has_token = bytearray(game.has_token)
-    initially = bytes(has_token)
     token = [i if has_token[i] else -1 for i in range(n)]
     n_par = [par_ptr[i + 1] - par_ptr[i] for i in range(n)]
     n_chi = [chi_ptr[i + 1] - chi_ptr[i] for i in range(n)]
     consumed = bytearray(game.num_edges)
     received: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
     passed: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
-    rngs = _node_rngs(tie_break, seed, net.node_ids)
 
     active = list(range(n))
     dying_now = bytearray(n)
@@ -290,20 +372,33 @@ def proposal_kernel(
             if (n_chi[i] == 0) if has_token[i] else (n_par[i] == 0):
                 dying.append(i)
                 dying_now[i] = 1
-        messages = 0
-        for i in dying:
-            messages += _leave_messages(
-                i, game, alive, dying_now, consumed, n_par, n_chi
-            )
-        # A surviving token-holder's announcement is delivered over every
-        # unconsumed edge to a child that has not left — which, once this
-        # round's LEAVE decrements are in, is exactly n_chi[i]: consumed
-        # edges and departed children are already subtracted, and
-        # same-round deaths drop the message per the scheduler rule.
-        for i in active:
-            if has_token[i] and not dying_now[i]:
-                messages += n_chi[i]
-        engine.messages += messages
+        if count_messages:
+            messages = 0
+            for i in dying:
+                messages += _leave_messages(
+                    i, game, alive, dying_now, consumed, n_par, n_chi
+                )
+            # A surviving token-holder's announcement is delivered over
+            # every unconsumed edge to a child that has not left — which,
+            # once this round's LEAVE decrements are in, is exactly
+            # n_chi[i]: consumed edges and departed children are already
+            # subtracted, and same-round deaths drop the message per the
+            # scheduler rule.
+            for i in active:
+                if has_token[i] and not dying_now[i]:
+                    messages += n_chi[i]
+            engine.messages += messages
+        else:
+            # Quiet LEAVE: only the termination-driving decrements.  Dead
+            # receivers' counters are never read again, so the survivor
+            # checks of the counting path are unnecessary here.
+            for i in dying:
+                for s in range(par_ptr[i], par_ptr[i + 1]):
+                    if not consumed[par_edge[s]]:
+                        n_chi[par_node[s]] -= 1
+                for s in range(chi_ptr[i], chi_ptr[i + 1]):
+                    if not consumed[chi_edge[s]]:
+                        n_par[chi_node[s]] -= 1
         for i in dying:
             engine.halt(i, round_number)
             dying_now[i] = 0
@@ -373,7 +468,30 @@ def proposal_kernel(
         grant_round(requests)
         announce(engine.step())
 
+    return has_token, token, received, passed, consumed, engine
+
+
+def proposal_kernel(
+    net: CompactNetwork,
+    max_rounds: int,
+    *,
+    tie_break: str = "min",
+    seed: int = 0,
+) -> Tuple[List[dict], ExecutionMetrics]:
+    """Simulate the proposal algorithm's execution on flat int arrays.
+
+    Returns per-dense-node outputs (the dicts the reference nodes pass to
+    ``ctx.halt``) and reference-equal execution metrics.
+    """
+    game = _DenseGame.of(net)
     ids = net.node_ids
+    initially = bytes(game.has_token)
+    has_token, token, received, passed, _, engine = proposal_game_kernel(
+        game,
+        max_rounds,
+        tie_break=tie_break,
+        rngs=_node_rngs(tie_break, seed, ids),
+    )
     outputs = _halt_outputs(ids, initially, has_token, token, received, passed)
     return outputs, engine.metrics(ids)
 

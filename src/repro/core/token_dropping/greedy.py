@@ -109,7 +109,11 @@ def greedy_token_dropping(
 
         node = position[token]
         children = sorted(movable_children(node), key=repr)
-        child = children[0] if order != "random" else children[rng.randrange(len(children))]
+        child = (
+            children[0]
+            if order != "random"
+            else children[rng.randrange(len(children))]
+        )
 
         consumed.add((child, node))
         del occupant[node]
@@ -145,7 +149,8 @@ def compare_destinations(
     agree = sum(
         1
         for token, traversal in a.traversals.items()
-        if token in b.traversals and b.traversals[token].destination == traversal.destination
+        if token in b.traversals
+        and b.traversals[token].destination == traversal.destination
     )
     return {
         "tokens": len(a.traversals),

@@ -32,7 +32,17 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.core.token_dropping.game import TokenDroppingInstance
 from repro.graphs.hypergraph import Hypergraph
@@ -111,13 +121,14 @@ class HypergraphTokenDroppingInstance:
             head = heads_dict[edge_id]
             if head not in members:
                 raise InvalidHypergraphInstanceError(
-                    f"head {head!r} of hyperedge {edge_id!r} is not one of its endpoints"
+                    f"head {head!r} of hyperedge {edge_id!r} is not one of its "
+                    "endpoints"
                 )
             others = [levels_dict[v] for v in members if v != head]
             if levels_dict[head] != min(others) + 1:
                 raise InvalidHypergraphInstanceError(
-                    f"hyperedge {edge_id!r}: level(head)={levels_dict[head]} must equal "
-                    f"min(level of other endpoints)+1={min(others) + 1}"
+                    f"hyperedge {edge_id!r}: level(head)={levels_dict[head]} must "
+                    f"equal min(level of other endpoints)+1={min(others) + 1}"
                 )
         extra_heads = set(heads_dict) - set(hypergraph.hyperedges)
         if extra_heads:
@@ -127,7 +138,8 @@ class HypergraphTokenDroppingInstance:
         unknown_tokens = token_set - set(hypergraph.vertices)
         if unknown_tokens:
             raise InvalidHypergraphInstanceError(
-                f"token(s) on unknown vertex/vertices {sorted(map(repr, unknown_tokens))}"
+                "token(s) on unknown vertex/vertices "
+                f"{sorted(map(repr, unknown_tokens))}"
             )
 
         object.__setattr__(self, "hypergraph", hypergraph)
@@ -152,7 +164,7 @@ class HypergraphTokenDroppingInstance:
         return self.hypergraph.max_rank()
 
     def children_in_edge(self, vertex: NodeId, edge_id: EdgeId) -> Tuple[NodeId, ...]:
-        """Children of ``vertex`` within ``edge_id`` (empty unless vertex is the head)."""
+        """Children of ``vertex`` in ``edge_id`` (empty unless vertex is the head)."""
         if self.heads[edge_id] != vertex:
             return ()
         level = self.levels[vertex]
@@ -178,7 +190,10 @@ class HypergraphTokenDroppingInstance:
 
     def theoretical_round_bound(self, constant: int = 8) -> int:
         """A concrete ``O(L · S²)`` game-round budget (Theorem 7.1)."""
-        return constant * (self.height + 1) * (self.max_vertex_degree + 1) ** 2 + constant
+        return (
+            constant * (self.height + 1) * (self.max_vertex_degree + 1) ** 2
+            + constant
+        )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -290,12 +305,13 @@ class HypergraphTokenDroppingSolution:
                     continue
                 if instance.heads[edge_id] != parent:
                     violations.append(
-                        f"traversal of {token!r}: {parent!r} is not the head of {edge_id!r}"
+                        f"traversal of {token!r}: {parent!r} is not the head of "
+                        f"{edge_id!r}"
                     )
                 if instance.levels[child] != instance.levels[parent] - 1:
                     violations.append(
-                        f"traversal of {token!r}: step {parent!r} -> {child!r} does not "
-                        "go down exactly one level"
+                        f"traversal of {token!r}: step {parent!r} -> {child!r} does "
+                        "not go down exactly one level"
                     )
                 if edge_id in used:
                     violations.append(
@@ -327,8 +343,9 @@ class HypergraphTokenDroppingSolution:
                 for child in instance.children_in_edge(destination, edge_id):
                     if child not in occupied:
                         violations.append(
-                            f"not maximal: destination {destination!r} could still pass "
-                            f"its token to {child!r} through hyperedge {edge_id!r}"
+                            f"not maximal: destination {destination!r} could still "
+                            f"pass its token to {child!r} through hyperedge "
+                            f"{edge_id!r}"
                         )
         return violations
 

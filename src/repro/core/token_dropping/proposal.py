@@ -82,7 +82,9 @@ def _choose(
     if policy == "random":
         assert rng is not None
         return ordered[rng.randrange(len(ordered))]
-    raise ValueError(f"unknown tie-break policy {policy!r}; expected one of {TIE_BREAK_POLICIES}")
+    raise ValueError(
+        f"unknown tie-break policy {policy!r}; expected one of {TIE_BREAK_POLICIES}"
+    )
 
 
 class ProposalNode(NodeAlgorithm):
@@ -102,7 +104,8 @@ class ProposalNode(NodeAlgorithm):
     def __init__(self, node_id: NodeId, tie_break: str = "min", seed: int = 0) -> None:
         if tie_break not in TIE_BREAK_POLICIES:
             raise ValueError(
-                f"unknown tie-break policy {tie_break!r}; expected one of {TIE_BREAK_POLICIES}"
+                f"unknown tie-break policy {tie_break!r}; "
+                f"expected one of {TIE_BREAK_POLICIES}"
             )
         self.tie_break = tie_break
         self._rng = (
@@ -214,7 +217,8 @@ def proposal_factory(tie_break: str = "min", seed: int = 0) -> AlgorithmFactory:
     """
     if tie_break not in TIE_BREAK_POLICIES:
         raise ValueError(
-            f"unknown tie-break policy {tie_break!r}; expected one of {TIE_BREAK_POLICIES}"
+            f"unknown tie-break policy {tie_break!r}; "
+            f"expected one of {TIE_BREAK_POLICIES}"
         )
     from repro.core.token_dropping._kernels import proposal_kernel
 

@@ -30,7 +30,6 @@ bottom} is exactly what the algorithm is specialised to).
 from __future__ import annotations
 
 import random
-from math import ceil
 from typing import Hashable, List, Optional, Tuple
 
 from repro.core.token_dropping.game import (
@@ -81,7 +80,8 @@ class ThreeLevelNode(NodeAlgorithm):
     def __init__(self, node_id: NodeId, tie_break: str = "min", seed: int = 0) -> None:
         if tie_break not in TIE_BREAK_POLICIES:
             raise ValueError(
-                f"unknown tie-break policy {tie_break!r}; expected one of {TIE_BREAK_POLICIES}"
+                f"unknown tie-break policy {tie_break!r}; "
+                f"expected one of {TIE_BREAK_POLICIES}"
             )
         self.tie_break = tie_break
         self._rng = (
@@ -246,7 +246,8 @@ def three_level_factory(tie_break: str = "min", seed: int = 0) -> AlgorithmFacto
     """
     if tie_break not in TIE_BREAK_POLICIES:
         raise ValueError(
-            f"unknown tie-break policy {tie_break!r}; expected one of {TIE_BREAK_POLICIES}"
+            f"unknown tie-break policy {tie_break!r}; "
+            f"expected one of {TIE_BREAK_POLICIES}"
         )
     from repro.core.token_dropping._kernels import three_level_kernel
 
@@ -261,7 +262,9 @@ def three_level_factory(tie_break: str = "min", seed: int = 0) -> AlgorithmFacto
     )
 
 
-def theoretical_three_level_bound(instance: TokenDroppingInstance, constant: int = 8) -> int:
+def theoretical_three_level_bound(
+    instance: TokenDroppingInstance, constant: int = 8
+) -> int:
     """A concrete O(Δ) game-round budget for Theorem 4.7."""
     return constant * (instance.max_degree + 1) + constant
 

@@ -50,7 +50,9 @@ class Traversal:
     def __init__(self, token: NodeId, path: Sequence[NodeId]) -> None:
         path_tuple = tuple(path)
         if not path_tuple:
-            raise InvalidSolutionError(f"traversal of token {token!r} has an empty path")
+            raise InvalidSolutionError(
+                f"traversal of token {token!r} has an empty path"
+            )
         if path_tuple[0] != token:
             raise InvalidSolutionError(
                 f"traversal of token {token!r} must start at the token's original "
@@ -191,7 +193,8 @@ class TokenDroppingSolution:
             for edge in traversal.edges_used():
                 if edge in seen_edges:
                     violations.append(
-                        f"edge {edge!r} used by tokens {seen_edges[edge]!r} and {token!r}"
+                        f"edge {edge!r} used by tokens {seen_edges[edge]!r} "
+                        f"and {token!r}"
                     )
                 else:
                     seen_edges[edge] = token
@@ -266,7 +269,9 @@ class TokenDroppingSolution:
         return traversal.path + tail[1:]
 
 
-def solution_from_paths(paths: Mapping[NodeId, Sequence[NodeId]]) -> TokenDroppingSolution:
+def solution_from_paths(
+    paths: Mapping[NodeId, Sequence[NodeId]],
+) -> TokenDroppingSolution:
     """Build a solution from raw token → path mappings (for tests/examples)."""
     traversals = {token: Traversal(token, path) for token, path in paths.items()}
     return TokenDroppingSolution(traversals=traversals)

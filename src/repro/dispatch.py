@@ -1,8 +1,10 @@
 """Backend dispatch: compact fast-path kernels vs. dict reference paths.
 
 Several public entry points (``sequential_flip_algorithm``,
-``best_response_dynamics``, ``greedy_assignment``) have two
-implementations:
+``best_response_dynamics``, ``greedy_assignment``, the token dropping
+solvers, and the full stable-orientation pipeline —
+``run_stable_orientation``, ``synchronous_repair_orientation``,
+``run_bounded_stable_orientation``) have two implementations:
 
 * the **dict reference path** — the original implementation over
   dict-of-Hashable structures, kept as the readable correctness oracle;

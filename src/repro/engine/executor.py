@@ -150,7 +150,9 @@ def run_tasks(
     by_index: Dict[int, TaskResult] = {}
     first_error: Optional[TaskError] = None
     with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
-        future_to_chunk = {pool.submit(_execute_chunk, chunk): chunk for chunk in chunks}
+        future_to_chunk = {
+            pool.submit(_execute_chunk, chunk): chunk for chunk in chunks
+        }
         for future in concurrent.futures.as_completed(future_to_chunk):
             chunk = future_to_chunk[future]
             try:

@@ -108,7 +108,9 @@ def best_response_quality(
 # ----------------------------------------------------------------------
 # E1 / E3 — token dropping round complexity (Theorems 4.1, 4.7)
 # ----------------------------------------------------------------------
-def proposal_rounds_vs_delta(*, seed: int, delta: int, levels: int = 6) -> Dict[str, Any]:
+def proposal_rounds_vs_delta(
+    *, seed: int, delta: int, levels: int = 6
+) -> Dict[str, Any]:
     """E1: proposal-algorithm game rounds on a Δ-capped layered game."""
     instance = bounded_degree_token_dropping(num_levels=levels, degree=delta, seed=seed)
     solution = run_proposal_algorithm(instance)
@@ -224,8 +226,10 @@ def matching_reductions(*, seed: int, side: int, degree: int = 4) -> Dict[str, A
 def orientation_vs_baselines(
     *, seed: int, delta: int, nodes_per_delta: int = 12
 ) -> Dict[str, Any]:
-    """E4/E9: phase algorithm, repair baseline, and sequential flips on Δ-regular graphs."""
-    problem = regular_orientation(degree=delta, num_nodes=nodes_per_delta * delta, seed=seed)
+    """E4/E9: phase algorithm, repair baseline, sequential flips on Δ-regular."""
+    problem = regular_orientation(
+        degree=delta, num_nodes=nodes_per_delta * delta, seed=seed
+    )
     result = run_stable_orientation(problem)
     _, repair = synchronous_repair_orientation(problem, seed=seed)
     _, seq = sequential_flip_algorithm(problem, policy="random", seed=seed)

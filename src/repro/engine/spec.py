@@ -24,7 +24,17 @@ import inspect
 import itertools
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 #: A measure takes ``seed=...`` plus grid parameters as keyword arguments
 #: and returns a JSON-serialisable mapping of metric name -> value.
@@ -65,7 +75,9 @@ def resolve_measure(reference: str) -> MeasureFn:
     try:
         module = importlib.import_module(module_name)
     except ImportError as exc:
-        raise ValueError(f"cannot import module of measure {reference!r}: {exc}") from exc
+        raise ValueError(
+            f"cannot import module of measure {reference!r}: {exc}"
+        ) from exc
     obj: Any = module
     for part in qualname.split("."):
         if part == "<locals>" or part == "<lambda>":
@@ -108,7 +120,9 @@ def measure_fingerprint(measure: Union[MeasureFn, str]) -> Optional[str]:
 
 def canonical_json(payload: Any) -> str:
     """Deterministic JSON encoding used for hashing (sorted keys, no spaces)."""
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=_json_default)
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=_json_default
+    )
 
 
 def _json_default(value: Any) -> Any:

@@ -60,10 +60,14 @@ class CustomerServerGraph:
         serv_adj: Dict[NodeId, Set[NodeId]] = {s: set() for s in server_set}
         for edge in edges:
             if len(edge) != 2:
-                raise BipartiteGraphError(f"edge {edge!r} is not a (customer, server) pair")
+                raise BipartiteGraphError(
+                    f"edge {edge!r} is not a (customer, server) pair"
+                )
             customer, server = edge
             if customer not in cust_adj:
-                raise BipartiteGraphError(f"unknown customer {customer!r} in edge {edge!r}")
+                raise BipartiteGraphError(
+                    f"unknown customer {customer!r} in edge {edge!r}"
+                )
             if server not in serv_adj:
                 raise BipartiteGraphError(f"unknown server {server!r} in edge {edge!r}")
             if server in cust_adj[customer]:
@@ -88,6 +92,26 @@ class CustomerServerGraph:
             "server_adjacency",
             {s: frozenset(adj) for s, adj in serv_adj.items()},
         )
+
+    @classmethod
+    def from_validated_adjacency(
+        cls,
+        customer_adjacency: Mapping[NodeId, FrozenSet[NodeId]],
+        server_adjacency: Mapping[NodeId, FrozenSet[NodeId]],
+    ) -> "CustomerServerGraph":
+        """Trusted constructor from already-validated adjacency maps.
+
+        Mirrors :meth:`repro.local_model.network.Network.
+        from_validated_adjacency`: callers that build the adjacency from a
+        structure whose invariants already hold (e.g. the compact
+        orientation kernels, where every edge customer has exactly its
+        two distinct endpoints as servers) skip the per-edge validation
+        pass of ``__init__``.
+        """
+        graph = cls.__new__(cls)
+        object.__setattr__(graph, "customer_adjacency", dict(customer_adjacency))
+        object.__setattr__(graph, "server_adjacency", dict(server_adjacency))
+        return graph
 
     # ------------------------------------------------------------------
     @property

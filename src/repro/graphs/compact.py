@@ -46,7 +46,9 @@ def _zeros(n: int) -> array:
     return array(INDEX_TYPECODE, bytes(_ITEMSIZE * n))
 
 
-def intern_nodes(nodes: Iterable[NodeId]) -> Tuple[Tuple[NodeId, ...], Dict[NodeId, int]]:
+def intern_nodes(
+    nodes: Iterable[NodeId],
+) -> Tuple[Tuple[NodeId, ...], Dict[NodeId, int]]:
     """Intern arbitrary Hashable node ids into dense integers.
 
     Returns ``(ids, index_of)`` where ``ids[i]`` is the original id of
@@ -115,6 +117,7 @@ class CompactGraph:
         "slot_edge",
         "edge_u",
         "edge_v",
+        "derived",
         "_problem",
         "_edge_index",
     )
@@ -136,6 +139,10 @@ class CompactGraph:
         self.slot_edge = slot_edge
         self.edge_u = edge_u
         self.edge_v = edge_v
+        #: Memo for immutable structures kernels derive from this graph
+        #: (e.g. directed repr ranks); keyed by kernel family.  Graphs are
+        #: immutable, so derived structures are computed at most once.
+        self.derived: Dict[str, object] = {}
         self._problem = None
         self._edge_index: Optional[Dict[Tuple[NodeId, NodeId], int]] = None
 
@@ -222,11 +229,16 @@ class CompactGraph:
         return memoryview(self.indices)[self.indptr[i] : self.indptr[i + 1]]
 
     def edge_keys(self) -> Tuple[Tuple[NodeId, NodeId], ...]:
-        """Original-id canonical edge keys, in edge-index order."""
-        ids = self.node_ids
-        return tuple(
-            (ids[self.edge_u[e]], ids[self.edge_v[e]]) for e in range(self.num_edges)
-        )
+        """Original-id canonical edge keys, in edge-index order (cached)."""
+        cached = self.derived.get("edge_keys")
+        if cached is None:
+            ids = self.node_ids
+            cached = tuple(
+                (ids[self.edge_u[e]], ids[self.edge_v[e]])
+                for e in range(self.num_edges)
+            )
+            self.derived["edge_keys"] = cached
+        return cached
 
     def edge_index(self, u: NodeId, v: NodeId) -> int:
         """Edge index of the undirected edge {u, v} (original ids)."""

@@ -129,7 +129,9 @@ def random_regular_graph(
     if degree < 0:
         raise ValueError(f"degree must be non-negative, got {degree}")
     if n <= degree:
-        raise ValueError(f"need n > degree for a simple graph, got n={n}, degree={degree}")
+        raise ValueError(
+            f"need n > degree for a simple graph, got n={n}, degree={degree}"
+        )
     if (degree * n) % 2 != 0:
         raise ValueError(f"degree * n must be even, got degree={degree}, n={n}")
     return nx.random_regular_graph(degree, n, seed=seed)

@@ -66,7 +66,8 @@ class LayeredGraph:
         for node, level in levels_dict.items():
             if not isinstance(level, int) or level < 0:
                 raise LayeredGraphError(
-                    f"level of node {node!r} must be a non-negative integer, got {level!r}"
+                    f"level of node {node!r} must be a non-negative integer, "
+                    f"got {level!r}"
                 )
 
         edge_set: Set[DirectedEdge] = set()

@@ -12,7 +12,7 @@ These checks back two kinds of uses:
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Iterable, Optional, Set, Tuple
+from typing import Dict, Hashable, Optional, Set, Tuple
 
 import networkx as nx
 
@@ -62,7 +62,9 @@ def check_bipartite(graph: nx.Graph) -> Tuple[Set[NodeId], Set[NodeId]]:
     """Return a bipartition of the graph or raise if none exists."""
     if not nx.is_bipartite(graph):
         raise GraphValidationError("graph is not bipartite")
-    left, right = nx.bipartite.sets(graph) if graph.number_of_nodes() else (set(), set())
+    left, right = (
+        nx.bipartite.sets(graph) if graph.number_of_nodes() else (set(), set())
+    )
     return set(left), set(right)
 
 
@@ -140,14 +142,16 @@ def tree_heights(graph: nx.Graph) -> Dict[NodeId, int]:
 
 
 def check_perfect_dary_tree(graph: nx.Graph, degree: int, root: NodeId) -> int:
-    """Verify a perfect d-ary tree (all non-leaves have degree d, leaves at equal depth).
+    """Verify a perfect d-ary tree (non-leaves have degree d, leaves equal depth).
 
     Returns the common leaf depth.  Raises :class:`GraphValidationError`
     on any violation.
     """
     check_is_tree(graph)
     depths = nx.single_source_shortest_path_length(graph, root)
-    leaf_depths = {d for node, d in depths.items() if graph.degree(node) <= 1 and node != root}
+    leaf_depths = {
+        d for node, d in depths.items() if graph.degree(node) <= 1 and node != root
+    }
     if graph.number_of_nodes() == 1:
         return 0
     if len(leaf_depths) != 1:
@@ -161,7 +165,8 @@ def check_perfect_dary_tree(graph: nx.Graph, degree: int, root: NodeId) -> int:
             continue  # a leaf
         if graph.degree(node) != degree:
             raise GraphValidationError(
-                f"non-leaf node {node!r} has degree {graph.degree(node)}, expected {degree}"
+                f"non-leaf node {node!r} has degree {graph.degree(node)}, "
+                f"expected {degree}"
             )
     return depth
 

@@ -25,7 +25,12 @@ from repro.local_model.errors import (
 from repro.local_model.messages import Envelope, Inbox, Outbox
 from repro.local_model.metrics import ExecutionMetrics
 from repro.local_model.network import Network
-from repro.local_model.node import AlgorithmFactory, NodeAlgorithm, NodeContext, StatelessRelay
+from repro.local_model.node import (
+    AlgorithmFactory,
+    NodeAlgorithm,
+    NodeContext,
+    StatelessRelay,
+)
 from repro.local_model.runner import (
     DEFAULT_MAX_ROUNDS,
     ExecutionResult,

@@ -53,7 +53,9 @@ class Network:
             try:
                 hash(node)
             except TypeError as exc:  # pragma: no cover - defensive
-                raise TopologyError(f"node identifier {node!r} is not hashable") from exc
+                raise TopologyError(
+                    f"node identifier {node!r} is not hashable"
+                ) from exc
             adjacency.setdefault(node, set())
 
         for node in nodes:
@@ -221,4 +223,7 @@ class Network:
         return new
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Network(n={len(self)}, m={self.num_edges()}, max_degree={self.max_degree()})"
+        return (
+            f"Network(n={len(self)}, m={self.num_edges()}, "
+            f"max_degree={self.max_degree()})"
+        )

@@ -104,7 +104,9 @@ class Runner:
             raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
         self.network = network
         self.factory = (
-            algorithm if isinstance(algorithm, AlgorithmFactory) else AlgorithmFactory(algorithm)
+            algorithm
+            if isinstance(algorithm, AlgorithmFactory)
+            else AlgorithmFactory(algorithm)
         )
         self.max_rounds = max_rounds
         self.trace = trace

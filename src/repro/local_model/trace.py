@@ -73,7 +73,9 @@ class ExecutionTrace:
 
     def on_halt(self, round_number: int, node: NodeId, output: Any) -> None:
         self._append(
-            TraceEvent(kind="halt", round_number=round_number, node=node, payload=output)
+            TraceEvent(
+                kind="halt", round_number=round_number, node=node, payload=output
+            )
         )
 
     # -- queries --------------------------------------------------------

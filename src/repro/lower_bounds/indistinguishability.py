@@ -60,7 +60,9 @@ def views_isomorphic(
             "is_root", False
         ) == attrs_b.get("is_root", False)
 
-    matcher = nx.algorithms.isomorphism.GraphMatcher(view_a, view_b, node_match=node_match)
+    matcher = nx.algorithms.isomorphism.GraphMatcher(
+        view_a, view_b, node_match=node_match
+    )
     return matcher.is_isomorphic()
 
 

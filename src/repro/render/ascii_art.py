@@ -33,11 +33,17 @@ def render_layered_game(
         for node in instance.graph.nodes_at_level(level):
             marker = "*" if node in occupied_set else " "
             cells.append(f"[{marker}] {node}")
-        lines.append(f"level {level:>2}: " + "   ".join(cells) if cells else f"level {level:>2}: (empty)")
+        lines.append(
+            f"level {level:>2}: " + "   ".join(cells)
+            if cells
+            else f"level {level:>2}: (empty)"
+        )
     return "\n".join(lines)
 
 
-def render_traversals(solution: TokenDroppingSolution, include_tails: bool = False) -> str:
+def render_traversals(
+    solution: TokenDroppingSolution, include_tails: bool = False
+) -> str:
     """One line per token: its traversal (and optionally its extended traversal)."""
     lines: List[str] = []
     for token in sorted(solution.traversals, key=repr):
@@ -67,7 +73,10 @@ def render_orientation(orientation: Orientation) -> str:
     loads = orientation.loads()
     lines.append(
         "loads: "
-        + ", ".join(f"{node}={load}" for node, load in sorted(loads.items(), key=lambda kv: repr(kv[0])))
+        + ", ".join(
+            f"{node}={load}"
+            for node, load in sorted(loads.items(), key=lambda kv: repr(kv[0]))
+        )
     )
     return "\n".join(lines)
 

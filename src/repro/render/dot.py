@@ -39,7 +39,9 @@ def token_dropping_to_dot(
         nodes = instance.graph.nodes_at_level(level)
         if not nodes:
             continue
-        lines.append("  { rank=same; " + " ".join(_quote(n) + ";" for n in nodes) + " }")
+        lines.append(
+            "  { rank=same; " + " ".join(_quote(n) + ";" for n in nodes) + " }"
+        )
         for node in nodes:
             attributes = []
             if node in instance.tokens:
@@ -63,7 +65,7 @@ def token_dropping_to_dot(
 
 
 def orientation_to_dot(orientation: Orientation) -> str:
-    """DOT digraph of an orientation; node labels include loads, unhappy edges are red."""
+    """DOT digraph of an orientation; labels include loads, unhappy edges red."""
     lines = ["digraph orientation {", "  node [shape=circle];"]
     for node in orientation.problem.nodes:
         label = f"{node}\\nload={orientation.load(node)}"

@@ -8,6 +8,7 @@ from repro.workloads.scenarios import (
     hard_matching_bipartite,
     layered_dag_orientation,
     long_path_orientation,
+    orientation_smoke,
     random_token_dropping,
     regular_orientation,
     sensor_network_orientation,
@@ -24,6 +25,7 @@ __all__ = [
     "hard_matching_bipartite",
     "layered_dag_orientation",
     "long_path_orientation",
+    "orientation_smoke",
     "random_token_dropping",
     "regular_orientation",
     "sensor_network_orientation",

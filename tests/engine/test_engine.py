@@ -155,7 +155,10 @@ class TestExecutor:
 
     def test_failures_are_not_swallowed(self):
         spec = ExperimentSpec(
-            name="crash", measure=crashing_measure, grid=parameter_grid(x=[1]), seeds=(0,)
+            name="crash",
+            measure=crashing_measure,
+            grid=parameter_grid(x=[1]),
+            seeds=(0,),
         )
         with pytest.raises(TaskError):
             run_experiment(spec, jobs=1)
@@ -266,7 +269,9 @@ class TestCacheAndResume:
         lines = cache.path.read_text(encoding="utf-8").splitlines()
         assert len(lines) == len(TOY_SPEC)
         record = json.loads(lines[0])
-        assert {"task_hash", "params", "seed", "values", "elapsed_seconds"} <= set(record)
+        assert {"task_hash", "params", "seed", "values", "elapsed_seconds"} <= set(
+            record
+        )
 
     def test_open_cache_none_passthrough(self, tmp_path):
         assert open_cache(None) is None
@@ -315,7 +320,9 @@ class TestSweepAdapter:
         parallel = run_sweep(
             "adapter", toy_measure, grid, seeds=(0,), jobs=2, cache_dir=str(tmp_path)
         )
-        assert [r.values for r in parallel.records] == [r.values for r in serial.records]
+        assert [r.values for r in parallel.records] == [
+            r.values for r in serial.records
+        ]
 
         messages = []
         resumed = run_sweep(

@@ -53,7 +53,9 @@ class TestCustomerServerGraph:
 
     def test_isolated_customer_rejected(self):
         with pytest.raises(BipartiteGraphError):
-            CustomerServerGraph(customers=["c1", "c2"], servers=["s"], edges=[("c1", "s")])
+            CustomerServerGraph(
+                customers=["c1", "c2"], servers=["s"], edges=[("c1", "s")]
+            )
 
     def test_from_orientation_graph(self):
         csg = CustomerServerGraph.from_orientation_graph([(1, 2), (2, 3)])

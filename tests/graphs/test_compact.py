@@ -43,7 +43,9 @@ class TestCompactGraph:
         assert "iso" in rebuilt.adjacency
 
     def test_csr_structure_matches_reference(self):
-        problem = OrientationProblem.from_networkx(bounded_degree_gnp(20, 0.3, 5, seed=1))
+        problem = OrientationProblem.from_networkx(
+            bounded_degree_gnp(20, 0.3, 5, seed=1)
+        )
         compact = CompactGraph.from_orientation_problem(problem)
         assert compact.num_nodes == len(problem.nodes)
         assert compact.num_edges == problem.num_edges()
@@ -54,7 +56,9 @@ class TestCompactGraph:
             assert compact.degree(i) == problem.degree(node)
 
     def test_edge_order_matches_reference(self):
-        problem = OrientationProblem.from_networkx(bounded_degree_gnp(15, 0.3, 5, seed=2))
+        problem = OrientationProblem.from_networkx(
+            bounded_degree_gnp(15, 0.3, 5, seed=2)
+        )
         compact = CompactGraph.from_orientation_problem(problem)
         assert compact.edge_keys() == problem.edges
 

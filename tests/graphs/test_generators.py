@@ -27,7 +27,11 @@ from repro.graphs import (
     star_graph,
     tree_heights,
 )
-from repro.graphs.validation import GraphValidationError, check_girth_at_least, check_max_degree
+from repro.graphs.validation import (
+    GraphValidationError,
+    check_girth_at_least,
+    check_max_degree,
+)
 
 
 class TestBasicTopologies:

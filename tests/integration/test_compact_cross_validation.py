@@ -8,6 +8,15 @@ spanning every kernel and every policy:
 
 * sequential flip orientation: 4 instance families x 20 seeds, policies
   rotated per seed (80 instances);
+* phase-based stable orientation (Theorem 5.1): 4 families x 25 seeds,
+  tie-break policies rotated (100 instances, full-result equality:
+  orientations, loads, per-phase stats, game and communication rounds);
+* synchronous repair baseline: 3 families x 25 seeds plus
+  explicit-initial-orientation cases (77 instances, orientation and
+  per-iteration statistics equality);
+* k-bounded stable orientation: 3 families x 10 seeds x k in {2, 3},
+  tie-break policies rotated (60 instances, orientation plus the full
+  embedded assignment result — choices, loads, per-phase stats);
 * best-response assignment dynamics: 2 families x 35 seeds, both
   policies exercised (70 instances);
 * greedy semi-matching assignment: 50 instances, both orders;
@@ -19,7 +28,9 @@ spanning every kernel and every policy:
 * token dropping — centralized greedy baseline: 25 seeds x all 4 move
   orders (100 executions);
 * token dropping edge cases: mixed-type node ids, tokenless, empty, and
-  single-node games on every kernel.
+  single-node games on every kernel;
+* orientation edge cases: mixed-type node ids and edgeless problems on
+  the full pipeline (phases, repair, bounded).
 
 Seeds are grouped into chunks per pytest case to keep collection
 overhead low while preserving per-chunk failure granularity.
@@ -27,13 +38,19 @@ overhead low while preserving per-chunk failure granularity.
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.core.assignment import best_response_dynamics, greedy_assignment
 from repro.core.orientation import (
     FLIP_POLICIES,
     OrientationProblem,
+    arbitrary_complete_orientation,
+    run_bounded_stable_orientation,
+    run_stable_orientation,
     sequential_flip_algorithm,
+    synchronous_repair_orientation,
 )
 from repro.core.token_dropping import (
     GREEDY_ORDERS,
@@ -101,6 +118,194 @@ class TestSequentialFlipsAgree:
             assert fast.is_stable(), context
 
 
+def _assert_orientation_results_equal(ref, fast, context) -> None:
+    """Full StableOrientationResult equality, field by field."""
+    assert (
+        ref.orientation.oriented_edges() == fast.orientation.oriented_edges()
+    ), context
+    assert ref.orientation.loads() == fast.orientation.loads(), context
+    assert ref.phases == fast.phases, context
+    assert ref.game_rounds == fast.game_rounds, context
+    assert ref.communication_rounds == fast.communication_rounds, context
+    assert ref.per_phase == fast.per_phase, context
+
+
+class TestStableOrientationAgrees:
+    """100 orientation instances; the tie-break policy rotates per seed."""
+
+    @pytest.mark.parametrize("family", ["gnp", "regular", "layered", "sensor"])
+    @pytest.mark.parametrize(
+        "seeds", [range(0, 10), range(10, 25)], ids=["s0-9", "s10-24"]
+    )
+    def test_identical_results_and_stats(self, family, seeds):
+        for seed in seeds:
+            problem = _orientation_instance(family, seed)
+            tie_break = TIE_BREAK_POLICIES[seed % len(TIE_BREAK_POLICIES)]
+            ref = run_stable_orientation(
+                problem, tie_break=tie_break, seed=seed, backend="dict"
+            )
+            fast = run_stable_orientation(
+                problem, tie_break=tie_break, seed=seed, backend="compact"
+            )
+            context = (family, seed, tie_break)
+            _assert_orientation_results_equal(ref, fast, context)
+            assert fast.stable, context
+
+    def test_unhappy_edge_sets_match_under_partial_invariants(self):
+        """check_invariants=False still yields identical (stable) results."""
+        for seed in range(5):
+            problem = _orientation_instance("sensor", seed)
+            ref = run_stable_orientation(
+                problem, check_invariants=False, backend="dict"
+            )
+            fast = run_stable_orientation(
+                problem, check_invariants=False, backend="compact"
+            )
+            context = ("sensor-noinv", seed)
+            _assert_orientation_results_equal(ref, fast, context)
+            assert ref.orientation.unhappy_edges() == fast.orientation.unhappy_edges()
+
+
+class TestRepairAgrees:
+    """77 repair runs: seeded random starts plus explicit initials."""
+
+    @pytest.mark.parametrize("family", ["gnp", "regular", "sensor"])
+    @pytest.mark.parametrize(
+        "seeds", [range(0, 10), range(10, 25)], ids=["s0-9", "s10-24"]
+    )
+    def test_identical_orientations_and_stats(self, family, seeds):
+        for seed in seeds:
+            problem = _orientation_instance(family, seed)
+            ref, ref_stats = synchronous_repair_orientation(
+                problem, seed=seed, backend="dict"
+            )
+            fast, fast_stats = synchronous_repair_orientation(
+                problem, seed=seed, backend="compact"
+            )
+            context = (family, seed)
+            assert ref.oriented_edges() == fast.oriented_edges(), context
+            assert ref.loads() == fast.loads(), context
+            assert ref_stats == fast_stats, context
+            assert fast.is_stable(), context
+
+    @pytest.mark.parametrize("towards", ["max", "random"])
+    def test_identical_from_explicit_initial(self, towards):
+        problem = _orientation_instance("regular", 7)
+        initial = arbitrary_complete_orientation(
+            problem, rng=random.Random(11), towards=towards
+        )
+        ref, ref_stats = synchronous_repair_orientation(
+            problem, initial=initial, seed=3, backend="dict"
+        )
+        fast, fast_stats = synchronous_repair_orientation(
+            problem, initial=initial, seed=3, backend="compact"
+        )
+        assert ref.oriented_edges() == fast.oriented_edges(), towards
+        assert ref.loads() == fast.loads(), towards
+        assert ref_stats == fast_stats, towards
+
+
+class TestBoundedOrientationAgrees:
+    """60 k-bounded runs; tie-break rotates per seed, k in {2, 3}."""
+
+    @pytest.mark.parametrize("family", ["gnp", "regular", "layered"])
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_identical_results_and_assignment(self, family, k):
+        for seed in range(10):
+            problem = _orientation_instance(family, seed)
+            tie_break = TIE_BREAK_POLICIES[seed % len(TIE_BREAK_POLICIES)]
+            ref = run_bounded_stable_orientation(
+                problem, k=k, tie_break=tie_break, seed=seed, backend="dict"
+            )
+            fast = run_bounded_stable_orientation(
+                problem, k=k, tie_break=tie_break, seed=seed, backend="compact"
+            )
+            context = (family, k, seed, tie_break)
+            assert (
+                ref.orientation.oriented_edges() == fast.orientation.oriented_edges()
+            ), context
+            assert ref.orientation.loads() == fast.orientation.loads(), context
+            assert ref.phases == fast.phases, context
+            assert ref.game_rounds == fast.game_rounds, context
+            ref_assignment = ref.assignment_result
+            fast_assignment = fast.assignment_result
+            assert ref_assignment.per_phase == fast_assignment.per_phase, context
+            assert (
+                ref_assignment.assignment.choices()
+                == fast_assignment.assignment.choices()
+            ), context
+            assert (
+                ref_assignment.assignment.loads() == fast_assignment.assignment.loads()
+            ), context
+            assert fast.stable, context
+            assert fast_assignment.stable, context
+
+
+class TestOrientationPipelineEdgeCases:
+    """Degenerate and mixed-type problems on the whole pipeline."""
+
+    @staticmethod
+    def _mixed_type_problem() -> OrientationProblem:
+        """Int, str, and tuple node ids in one graph (repr-order ties)."""
+        edges = [
+            (1, "one"),
+            (1, (2, "a")),
+            ("one", (2, "a")),
+            (10, (2, "a")),
+            (10, 3),
+            (3, "one"),
+            (10, "ten"),
+            ("ten", 3),
+        ]
+        return OrientationProblem(edges=edges)
+
+    def test_mixed_type_node_ids_agree(self):
+        problem = self._mixed_type_problem()
+        for tie_break in TIE_BREAK_POLICIES:
+            ref = run_stable_orientation(
+                problem, tie_break=tie_break, seed=2, backend="dict"
+            )
+            fast = run_stable_orientation(
+                problem, tie_break=tie_break, seed=2, backend="compact"
+            )
+            _assert_orientation_results_equal(ref, fast, tie_break)
+            bounded_ref = run_bounded_stable_orientation(
+                problem, tie_break=tie_break, seed=2, backend="dict"
+            )
+            bounded_fast = run_bounded_stable_orientation(
+                problem, tie_break=tie_break, seed=2, backend="compact"
+            )
+            assert (
+                bounded_ref.orientation.oriented_edges()
+                == bounded_fast.orientation.oriented_edges()
+            ), tie_break
+            assert (
+                bounded_ref.assignment_result.per_phase
+                == bounded_fast.assignment_result.per_phase
+            ), tie_break
+        ref, ref_stats = synchronous_repair_orientation(problem, seed=4, backend="dict")
+        fast, fast_stats = synchronous_repair_orientation(
+            problem, seed=4, backend="compact"
+        )
+        assert ref.oriented_edges() == fast.oriented_edges()
+        assert ref_stats == fast_stats
+
+    def test_edgeless_problems_agree(self):
+        problem = OrientationProblem(edges=[], nodes=["a", "b", 3])
+        ref = run_stable_orientation(problem, backend="dict")
+        fast = run_stable_orientation(problem, backend="compact")
+        _assert_orientation_results_equal(ref, fast, "edgeless")
+        assert fast.phases == 0
+        bounded_ref = run_bounded_stable_orientation(problem, backend="dict")
+        bounded_fast = run_bounded_stable_orientation(problem, backend="compact")
+        assert bounded_ref.phases == bounded_fast.phases == 0
+        assert bounded_fast.assignment_result is None
+        ref_o, ref_stats = synchronous_repair_orientation(problem, backend="dict")
+        fast_o, fast_stats = synchronous_repair_orientation(problem, backend="compact")
+        assert ref_o.oriented_edges() == fast_o.oriented_edges() == ()
+        assert ref_stats == fast_stats
+
+
 class TestBestResponseAgrees:
     """70 assignment instances across both policies."""
 
@@ -114,7 +319,14 @@ class TestBestResponseAgrees:
             ("uniform", range(10, 20)),
             ("uniform", range(20, 35)),
         ],
-        ids=["dc-s0-9", "dc-s10-19", "dc-s20-34", "uni-s0-9", "uni-s10-19", "uni-s20-34"],
+        ids=[
+            "dc-s0-9",
+            "dc-s10-19",
+            "dc-s20-34",
+            "uni-s0-9",
+            "uni-s10-19",
+            "uni-s20-34",
+        ],
     )
     def test_identical_assignments_and_stats(self, family, seeds):
         for seed in seeds:
@@ -262,7 +474,10 @@ class TestThreeLevelAlgorithmAgrees:
             network, three_level_factory("min", seed), max_rounds=1000, backend="dict"
         ).run()
         fast = Runner(
-            network, three_level_factory("min", seed), max_rounds=1000, backend="compact"
+            network,
+            three_level_factory("min", seed),
+            max_rounds=1000,
+            backend="compact",
         ).run()
         assert ref.outputs == fast.outputs, seed
         assert ref.metrics == fast.metrics, seed
@@ -351,7 +566,9 @@ class TestCompactInstancesMatchReferenceInstances:
     @pytest.mark.parametrize("seed", range(5))
     def test_orientation_through_compact_instance(self, seed):
         reference = layered_dag_orientation(num_levels=4, width=5, seed=seed)
-        compact = layered_dag_orientation(num_levels=4, width=5, seed=seed, compact=True)
+        compact = layered_dag_orientation(
+            num_levels=4, width=5, seed=seed, compact=True
+        )
         ref, ref_stats = sequential_flip_algorithm(reference, backend="dict")
         fast, fast_stats = sequential_flip_algorithm(compact)
         assert ref.oriented_edges() == fast.oriented_edges()

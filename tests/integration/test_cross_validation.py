@@ -93,7 +93,9 @@ class TestOrientationVsAssignment:
 class TestAnalysisPipeline:
     def test_sweep_fit_and_bound_check_on_real_algorithm(self):
         def measure(*, seed, delta):
-            instance = bounded_degree_token_dropping(num_levels=4, degree=delta, seed=seed)
+            instance = bounded_degree_token_dropping(
+                num_levels=4, degree=delta, seed=seed
+            )
             solution = run_proposal_algorithm(instance)
             return {
                 "game_rounds": solution.game_rounds,

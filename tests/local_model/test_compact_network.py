@@ -94,7 +94,9 @@ def _echo_kernel(compact, max_rounds):
 
 
 def kernel_factory():
-    return AlgorithmFactory(lambda node_id: StatelessRelay(), compact_kernel=_echo_kernel)
+    return AlgorithmFactory(
+        lambda node_id: StatelessRelay(), compact_kernel=_echo_kernel
+    )
 
 
 class TestRunnerDispatch:

@@ -16,7 +16,11 @@ from repro.core.orientation import (
 from repro.core.orientation.problem import OrientationProblem
 from repro.core.token_dropping import run_proposal_algorithm, run_three_level_algorithm
 from repro.graphs.generators import perfect_dary_tree, random_bipartite_customer_server
-from repro.graphs.validation import check_girth_at_least, check_perfect_dary_tree, is_regular
+from repro.graphs.validation import (
+    check_girth_at_least,
+    check_perfect_dary_tree,
+    is_regular,
+)
 from repro.lower_bounds import (
     height2_matching_instance,
     lemma61_violations,

@@ -44,8 +44,12 @@ def problems_for_testing():
         "cycle": OrientationProblem.from_networkx(cycle_graph(9)),
         "star": OrientationProblem.from_networkx(star_graph(6)),
         "tree": OrientationProblem.from_networkx(perfect_dary_tree(3, 3)[0]),
-        "regular": OrientationProblem.from_networkx(random_regular_graph(4, 14, seed=2)),
-        "gnp": OrientationProblem.from_networkx(bounded_degree_gnp(25, 0.25, 6, seed=4)),
+        "regular": OrientationProblem.from_networkx(
+            random_regular_graph(4, 14, seed=2)
+        ),
+        "gnp": OrientationProblem.from_networkx(
+            bounded_degree_gnp(25, 0.25, 6, seed=4)
+        ),
         "caterpillar": OrientationProblem.from_networkx(caterpillar_graph(6, 3)),
         "single_edge": OrientationProblem(edges=[(0, 1)]),
         "empty": OrientationProblem(edges=[], nodes=[0, 1, 2]),
@@ -199,7 +203,9 @@ class TestPropertyBased:
     def test_sequential_always_stable_and_potential_decreases(self, n, p, seed):
         graph = bounded_degree_gnp(n, p, max_degree=5, seed=seed)
         problem = OrientationProblem.from_networkx(graph)
-        orientation, stats = sequential_flip_algorithm(problem, policy="random", seed=seed)
+        orientation, stats = sequential_flip_algorithm(
+            problem, policy="random", seed=seed
+        )
         assert orientation.is_stable()
         assert stats.final_potential <= stats.initial_potential
 

@@ -31,7 +31,14 @@ class TestBoundedUnhappiness:
         # unhappy (badness 2) but 0-1-many happy, because no tail sees a
         # load-0 alternative.
         problem = OrientationProblem(
-            edges=[("c", "a"), ("c", "b"), ("c", "d"), ("a", "x"), ("b", "y"), ("d", "z")]
+            edges=[
+                ("c", "a"),
+                ("c", "b"),
+                ("c", "d"),
+                ("a", "x"),
+                ("b", "y"),
+                ("d", "z"),
+            ]
         )
         orientation = Orientation(problem)
         for tail in ("a", "b", "d"):
@@ -49,7 +56,9 @@ class TestBoundedOrientationAlgorithm:
         lambda: OrientationProblem(edges=[(1, 2), (2, 3), (1, 3), (3, 4)]),
         lambda: OrientationProblem.from_networkx(star_graph(6)),
         lambda: OrientationProblem.from_networkx(perfect_dary_tree(3, 2)[0]),
-        lambda: OrientationProblem.from_networkx(bounded_degree_gnp(25, 0.25, 5, seed=3)),
+        lambda: OrientationProblem.from_networkx(
+            bounded_degree_gnp(25, 0.25, 5, seed=3)
+        ),
     ])
     def test_produces_bounded_stable_orientation(self, maker):
         problem = maker()
@@ -71,12 +80,18 @@ class TestBoundedOrientationAlgorithm:
             run_bounded_stable_orientation(problem, k=1)
 
     def test_round_budget_respected(self):
-        problem = OrientationProblem.from_networkx(bounded_degree_gnp(30, 0.3, 6, seed=5))
+        problem = OrientationProblem.from_networkx(
+            bounded_degree_gnp(30, 0.3, 6, seed=5)
+        )
         result = run_bounded_stable_orientation(problem, seed=2)
-        assert result.game_rounds <= theoretical_bounded_orientation_round_bound(problem)
+        assert result.game_rounds <= theoretical_bounded_orientation_round_bound(
+            problem
+        )
 
     def test_full_stability_implies_bounded_stability(self):
-        problem = OrientationProblem.from_networkx(bounded_degree_gnp(20, 0.3, 5, seed=9))
+        problem = OrientationProblem.from_networkx(
+            bounded_degree_gnp(20, 0.3, 5, seed=9)
+        )
         full = run_stable_orientation(problem)
         assert bounded_unhappy_edges(full.orientation, k=2) == []
 
@@ -87,6 +102,8 @@ class TestBoundedOrientationAlgorithm:
     )
     @settings(max_examples=20, deadline=None)
     def test_property_always_bounded_stable(self, n, p, seed):
-        problem = OrientationProblem.from_networkx(bounded_degree_gnp(n, p, 5, seed=seed))
+        problem = OrientationProblem.from_networkx(
+            bounded_degree_gnp(n, p, 5, seed=seed)
+        )
         result = run_bounded_stable_orientation(problem, seed=seed)
         assert result.stable

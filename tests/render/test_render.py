@@ -62,7 +62,8 @@ class TestAsciiRendering:
         graph = CustomerServerGraph(
             customers=[f"c{i}" for i in range(10)],
             servers=["s0", "s1"],
-            edges=[(f"c{i}", "s0") for i in range(10)] + [(f"c{i}", "s1") for i in range(10)],
+            edges=[(f"c{i}", "s0") for i in range(10)]
+            + [(f"c{i}", "s1") for i in range(10)],
         )
         assignment = Assignment(graph, choices={f"c{i}": "s0" for i in range(10)})
         text = render_assignment(assignment, max_rows=3)

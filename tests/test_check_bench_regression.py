@@ -1,0 +1,159 @@
+"""Unit tests for ``scripts/check_bench_regression.py``.
+
+The gate logic is exercised with injected fake gates and a monkeypatched
+``timed_median``, so no real benchmark instance is built: the tests cover
+the passing path, a >3x regression, the silent-fallback ratio failure,
+the min-budget floor for millisecond-scale scenarios, agreement failures,
+budget-only suites, and missing/malformed BENCH files.  One registry test
+asserts every gate points at a scenario that is actually committed.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_bench_regression.py"
+
+spec = importlib.util.spec_from_file_location("check_bench_regression", SCRIPT)
+cbr = importlib.util.module_from_spec(spec)
+# The dataclass decorator resolves string annotations through
+# sys.modules[cls.__module__], so the module must be registered first.
+sys.modules["check_bench_regression"] = cbr
+spec.loader.exec_module(cbr)
+
+
+def _write_bench(tmp_path: Path, suite: str, scenario: str, median: float) -> None:
+    (tmp_path / f"BENCH_{suite}.json").write_text(
+        json.dumps({"scenarios": {scenario: {"median_seconds": median}}})
+    )
+
+
+def _fake_gate(*, with_reference: bool = True, agreement_error=None) -> "cbr.SuiteGate":
+    return cbr.SuiteGate(
+        scenario="scenario",
+        prepare=lambda: {},
+        run=lambda ctx: None,
+        reference=(lambda ctx: None) if with_reference else None,
+        check_agreement=(
+            (lambda ctx: agreement_error) if with_reference else None
+        ),
+    )
+
+
+def _patch(monkeypatch, gate, timings) -> None:
+    """Install one fake suite and a deterministic timer.
+
+    ``timings`` are consumed in call order: the gated path is timed
+    first, the reference (when present) second.
+    """
+    monkeypatch.setattr(cbr, "GATES", {"fake": lambda: gate})
+    feed = iter(timings)
+    monkeypatch.setattr(cbr, "timed_median", lambda fn, rounds: next(feed))
+
+
+def test_passing_gate(monkeypatch, tmp_path):
+    _write_bench(tmp_path, "fake", "scenario", 0.1)
+    _patch(monkeypatch, _fake_gate(), [0.12, 1.0])
+    assert cbr.main(["--bench-dir", str(tmp_path)]) == 0
+
+
+def test_regression_beyond_budget_fails(monkeypatch, tmp_path, capsys):
+    _write_bench(tmp_path, "fake", "scenario", 0.1)
+    _patch(monkeypatch, _fake_gate(), [0.5, 5.0])
+    assert cbr.main(["--bench-dir", str(tmp_path)]) == 1
+    assert "regressed more than 3.0x" in capsys.readouterr().err
+
+
+def test_silent_fallback_ratio_fails(monkeypatch, tmp_path, capsys):
+    # Within budget, but the dict reference is barely slower: the ratio
+    # floor catches a compact path that silently fell back.
+    _write_bench(tmp_path, "fake", "scenario", 0.1)
+    _patch(monkeypatch, _fake_gate(), [0.1, 0.15])
+    assert cbr.main(["--bench-dir", str(tmp_path)]) == 1
+    assert "silent fall-back" in capsys.readouterr().err
+
+
+def test_min_budget_floor_shields_millisecond_scenarios(monkeypatch, tmp_path):
+    # 10x over a 1 ms committed median is still far below the 50 ms
+    # absolute floor, so a slow runner cannot flake the gate.
+    _write_bench(tmp_path, "fake", "scenario", 0.001)
+    _patch(monkeypatch, _fake_gate(), [0.01, 0.2])
+    assert cbr.main(["--bench-dir", str(tmp_path)]) == 0
+
+
+def test_agreement_failure_fails_before_timing(monkeypatch, tmp_path, capsys):
+    _write_bench(tmp_path, "fake", "scenario", 0.1)
+    gate = _fake_gate(agreement_error="backends disagree")
+    monkeypatch.setattr(cbr, "GATES", {"fake": lambda: gate})
+
+    def no_timing(fn, rounds):  # pragma: no cover - would mean a bug
+        raise AssertionError("timing must not run after an agreement failure")
+
+    monkeypatch.setattr(cbr, "timed_median", no_timing)
+    assert cbr.main(["--bench-dir", str(tmp_path)]) == 1
+    assert "backends disagree" in capsys.readouterr().err
+
+
+def test_budget_only_suite_skips_ratio(monkeypatch, tmp_path):
+    _write_bench(tmp_path, "fake", "scenario", 0.1)
+    # Only one timing is consumed: a second call would raise StopIteration.
+    _patch(monkeypatch, _fake_gate(with_reference=False), [0.12])
+    assert cbr.main(["--bench-dir", str(tmp_path)]) == 0
+
+
+def test_missing_bench_file(monkeypatch, tmp_path, capsys):
+    _patch(monkeypatch, _fake_gate(), [])
+    assert cbr.main(["--bench-dir", str(tmp_path)]) == 2
+    assert "no committed median" in capsys.readouterr().err
+
+
+def test_malformed_bench_file(monkeypatch, tmp_path, capsys):
+    (tmp_path / "BENCH_fake.json").write_text("{not json")
+    _patch(monkeypatch, _fake_gate(), [])
+    assert cbr.main(["--bench-dir", str(tmp_path)]) == 2
+    assert "no committed median" in capsys.readouterr().err
+
+
+def test_scenario_missing_from_bench_file(monkeypatch, tmp_path):
+    _write_bench(tmp_path, "fake", "another_scenario", 0.1)
+    _patch(monkeypatch, _fake_gate(), [])
+    assert cbr.main(["--bench-dir", str(tmp_path)]) == 2
+
+
+def test_suite_filter_limits_gating(monkeypatch, tmp_path):
+    gate = _fake_gate(with_reference=False)
+    other_calls = []
+
+    def other_factory():
+        other_calls.append(1)  # pragma: no cover - would mean a bug
+        raise AssertionError("unselected suite must not be built")
+
+    monkeypatch.setattr(
+        cbr, "GATES", {"fake": lambda: gate, "other": other_factory}
+    )
+    _write_bench(tmp_path, "fake", "scenario", 0.1)
+    feed = iter([0.1])
+    monkeypatch.setattr(cbr, "timed_median", lambda fn, rounds: next(feed))
+    assert cbr.main(["--suite", "fake", "--bench-dir", str(tmp_path)]) == 0
+    assert not other_calls
+
+
+def test_timing_rounds_scale_for_fast_scenarios():
+    assert cbr.timing_rounds(1.0, 5) == 5
+    assert cbr.timing_rounds(0.002, 5) == 25  # capped
+    assert cbr.timing_rounds(0.02, 5) == 5
+    assert cbr.timing_rounds(0.004, 5) == 13
+
+
+@pytest.mark.parametrize("suite", sorted(cbr.GATES))
+def test_gate_scenarios_are_committed(suite):
+    """Every registered gate re-times a scenario that is committed."""
+    payload = json.loads((REPO_ROOT / f"BENCH_{suite}.json").read_text())
+    gate = cbr.GATES[suite]()
+    assert gate.scenario in payload["scenarios"], (suite, gate.scenario)

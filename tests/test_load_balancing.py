@@ -31,7 +31,9 @@ class TestLoadBalancer:
         assert result.max_edge_usage() == 0
 
     def test_conservation_of_load(self):
-        problem = OrientationProblem.from_networkx(bounded_degree_gnp(20, 0.3, 5, seed=1))
+        problem = OrientationProblem.from_networkx(
+            bounded_degree_gnp(20, 0.3, 5, seed=1)
+        )
         initial = orientation_loads_as_initial(problem)
         result = locally_optimal_load_balancing(problem, initial)
         assert sum(result.loads.values()) == sum(initial.values())
@@ -61,7 +63,9 @@ class TestLoadBalancer:
     def test_property_terminates_balanced_and_conserves(self, n, p, seed, load_seed):
         import random
 
-        problem = OrientationProblem.from_networkx(bounded_degree_gnp(n, p, 5, seed=seed))
+        problem = OrientationProblem.from_networkx(
+            bounded_degree_gnp(n, p, 5, seed=seed)
+        )
         rng = random.Random(load_seed)
         initial = {node: rng.randrange(0, 4) for node in problem.nodes}
         result = locally_optimal_load_balancing(problem, initial)

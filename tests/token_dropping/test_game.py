@@ -84,7 +84,9 @@ class TestInstance:
 
     def test_random_token_placement_excluding_bottom(self, chain_graph: LayeredGraph):
         rng = random.Random(1)
-        tokens = random_token_placement(chain_graph, 1.0, rng, exclude_bottom_level=True)
+        tokens = random_token_placement(
+            chain_graph, 1.0, rng, exclude_bottom_level=True
+        )
         assert "a" not in tokens
 
     def test_random_token_placement_fraction_validated(self, chain_graph: LayeredGraph):
@@ -200,7 +202,9 @@ class TestTails:
             "b": (),
             "b2": ((("d"), "a"),),
         }
-        solution = TokenDroppingSolution(traversals=traversals, pass_history=pass_history)
+        solution = TokenDroppingSolution(
+            traversals=traversals, pass_history=pass_history
+        )
         # Destination of d is a; a never passed anything: tail is just (a,).
         assert solution.tail_of("d") == ("a",)
         # Destination of c is b with empty history: tail (b,).

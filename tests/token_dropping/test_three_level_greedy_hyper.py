@@ -31,7 +31,9 @@ from repro.graphs.layered import LayeredGraph
 def three_level_instance(width: int, p: float, token_fraction: float, seed: int):
     rng = random.Random(seed)
     graph = random_layered_graph(3, width, p, seed=rng)
-    tokens = random_token_placement(graph, token_fraction, rng, exclude_bottom_level=True)
+    tokens = random_token_placement(
+        graph, token_fraction, rng, exclude_bottom_level=True
+    )
     return TokenDroppingInstance(graph, tokens)
 
 
@@ -152,7 +154,9 @@ class TestHypergraphGame:
     def test_rank_one_hyperedge_rejected(self):
         hg = Hypergraph(vertices=["a"], hyperedges={"e": ["a"]})
         with pytest.raises(InvalidHypergraphInstanceError):
-            HypergraphTokenDroppingInstance(hg, levels={"a": 0}, heads={"e": "a"}, tokens=set())
+            HypergraphTokenDroppingInstance(
+                hg, levels={"a": 0}, heads={"e": "a"}, tokens=set()
+            )
 
     def test_small_instance_solved(self):
         instance = self.small_instance()
@@ -178,7 +182,7 @@ class TestHypergraphGame:
 
     @pytest.mark.parametrize("seed", range(5))
     def test_agrees_with_rank2_engine(self, seed):
-        """The hypergraph engine on a rank-2 view must also produce a valid, stuck solution."""
+        """The hypergraph engine on a rank-2 view also gets a valid, stuck solution."""
         rng = random.Random(seed)
         graph = random_layered_graph(4, 4, 0.5, seed=rng)
         tokens = random_token_placement(graph, 0.5, rng)

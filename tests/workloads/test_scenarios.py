@@ -126,11 +126,15 @@ class TestScenarioDeterminism:
         return sorted(tuple(sorted(edge)) for edge in problem.edges)
 
     def test_datacenter_assignment(self):
-        a, b = (datacenter_assignment(num_jobs=40, num_servers=8, seed=7) for _ in range(2))
+        a, b = (
+            datacenter_assignment(num_jobs=40, num_servers=8, seed=7) for _ in range(2)
+        )
         assert sorted(a.edges()) == sorted(b.edges())
 
     def test_uniform_assignment(self):
-        a, b = (uniform_assignment(num_jobs=40, num_servers=8, seed=7) for _ in range(2))
+        a, b = (
+            uniform_assignment(num_jobs=40, num_servers=8, seed=7) for _ in range(2)
+        )
         assert sorted(a.edges()) == sorted(b.edges())
 
     def test_hard_matching_bipartite(self):
@@ -138,7 +142,10 @@ class TestScenarioDeterminism:
         assert sorted(a.edges()) == sorted(b.edges())
 
     def test_sensor_network_orientation(self):
-        a, b = (sensor_network_orientation(num_nodes=50, max_degree=5, seed=9) for _ in range(2))
+        a, b = (
+            sensor_network_orientation(num_nodes=50, max_degree=5, seed=9)
+            for _ in range(2)
+        )
         assert self._orientation_fingerprint(a) == self._orientation_fingerprint(b)
 
     def test_regular_orientation(self):
@@ -152,7 +159,9 @@ class TestScenarioDeterminism:
         assert self._orientation_fingerprint(p) == self._orientation_fingerprint(q)
 
     def test_two_cliques_bottleneck(self):
-        (a, u1, v1), (b, u2, v2) = (two_cliques_bottleneck(clique_size=4) for _ in range(2))
+        (a, u1, v1), (b, u2, v2) = (
+            two_cliques_bottleneck(clique_size=4) for _ in range(2)
+        )
         assert (u1, v1) == (u2, v2)
         assert self._orientation_fingerprint(a) == self._orientation_fingerprint(b)
 
@@ -170,11 +179,16 @@ class TestScenarioDeterminism:
         assert self._game_fingerprint(a) == self._game_fingerprint(b)
 
     def test_bounded_degree_token_dropping(self):
-        a, b = (bounded_degree_token_dropping(num_levels=4, degree=4, seed=3) for _ in range(2))
+        a, b = (
+            bounded_degree_token_dropping(num_levels=4, degree=4, seed=3)
+            for _ in range(2)
+        )
         assert self._game_fingerprint(a) == self._game_fingerprint(b)
 
     def test_figure2_game(self):
-        assert self._game_fingerprint(figure2_game()) == self._game_fingerprint(figure2_game())
+        assert self._game_fingerprint(figure2_game()) == self._game_fingerprint(
+            figure2_game()
+        )
 
     def test_different_seeds_differ(self):
         a = random_token_dropping(num_levels=5, width=6, seed=0)
@@ -190,7 +204,9 @@ class TestTokenDroppingScenarios:
 
     def test_bounded_degree_token_dropping_respects_cap(self):
         for degree in (2, 4, 6):
-            instance = bounded_degree_token_dropping(num_levels=4, degree=degree, seed=1)
+            instance = bounded_degree_token_dropping(
+                num_levels=4, degree=degree, seed=1
+            )
             assert instance.max_degree <= degree
 
     def test_figure2_game(self):
