@@ -17,6 +17,13 @@ Baselines
     the O(Δ⁵) prior work (see the module docstring for the substitution
     rationale).
 
+Incremental re-stabilization
+    :class:`DynamicOrientation` -- wraps a solved orientation and absorbs
+    edge/node churn (:class:`EdgeInsert`, :class:`EdgeDelete`,
+    :class:`NodeJoin`, :class:`NodeLeave`) with frontier-local repair
+    instead of recompute-from-scratch; see
+    :mod:`repro.core.orientation.incremental` for the locality argument.
+
 Every entry point above (and the k-bounded relaxation,
 :func:`run_bounded_stable_orientation`) carries a compact int-array fast
 path dispatched per :mod:`repro.dispatch` — identical results, verified
@@ -36,6 +43,15 @@ from repro.core.orientation.phases import (
     run_stable_orientation,
     theoretical_phase_bound,
     theoretical_round_bound,
+)
+from repro.core.orientation.incremental import (
+    Delta,
+    DynamicOrientation,
+    EdgeDelete,
+    EdgeInsert,
+    NodeJoin,
+    NodeLeave,
+    UpdateStats,
 )
 from repro.core.orientation.problem import (
     Orientation,
@@ -59,8 +75,15 @@ from repro.core.orientation.sequential import (
 
 __all__ = [
     "BoundedOrientationResult",
+    "Delta",
+    "DynamicOrientation",
+    "EdgeDelete",
+    "EdgeInsert",
     "FLIP_POLICIES",
+    "NodeJoin",
+    "NodeLeave",
     "Orientation",
+    "UpdateStats",
     "bounded_unhappy_edges",
     "run_bounded_stable_orientation",
     "theoretical_bounded_orientation_round_bound",

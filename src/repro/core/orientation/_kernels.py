@@ -451,6 +451,10 @@ def repair_kernel(
     ``initial_heads`` is the dense head id per edge index (default: the
     seeded random complete orientation of the reference path).
     """
+    from repro.core.orientation._unhappy import (
+        UnhappyEdgeTracker,
+        run_repair_loop,
+    )
     from repro.core.orientation.repair import (
         ROUNDS_PER_REPAIR_ITERATION,
         RepairRunStats,
@@ -483,67 +487,23 @@ def repair_kernel(
     # Unhappy edges tracked incrementally (a flip changes two loads, so
     # only edges incident to those nodes change state), keyed to the rank
     # of their current (tail, head) repr — the reference's sort order.
-    unhappy: Dict[int, int] = {}
-    for e in range(m):
-        h = heads[e]
-        if load[h] - load[tails[e]] > 1:
-            unhappy[e] = rank_to_v[e] if h == ev[e] else rank_to_u[e]
+    tracker = UnhappyEdgeTracker(heads, tails, load, ev, rank_to_v, rank_to_u)
+    tracker.refresh(range(m))
 
-    stats = RepairRunStats(initial_unhappy=len(unhappy))
+    stats = RepairRunStats(initial_unhappy=len(tracker))
 
-    while unhappy:
-        if stats.iterations >= max_iterations:
-            raise RuntimeError(
-                f"repair baseline exceeded {max_iterations} iterations; "
-                "the potential argument guarantees this cannot happen"
-            )
+    def refresh_incident(x: int) -> None:
+        tracker.refresh_slots(slot_edge, indptr[x], indptr[x + 1])
 
-        # Greedy conflict-free selection: no node participates in two
-        # flips.  The shuffle permutes the rank-sorted edge list exactly
-        # like the reference's shuffle of the repr-sorted tuple list
-        # (shuffle's stream consumption depends only on the length).
-        batch = sorted(unhappy, key=unhappy.__getitem__)
-        rng.shuffle(batch)
-        used = bytearray(n)
-        selected: List[int] = []
-        for e in batch:
-            t = tails[e]
-            h = heads[e]
-            if used[t] or used[h]:
-                continue
-            selected.append(e)
-            used[t] = 1
-            used[h] = 1
-
-        for e in selected:
-            t = tails[e]
-            h = heads[e]
-            heads[e] = t
-            tails[e] = h
-            load[h] -= 1
-            load[t] += 1
-
-        # A tracked rank is never stale: an edge's direction only changes
-        # when it flips, and a flipped edge is happy right after its
-        # iteration (its endpoints saw no other flip), so it left the
-        # dict.  Membership checks therefore suffice for unchanged edges.
-        for e in selected:
-            for x in (tails[e], heads[e]):
-                for s in range(indptr[x], indptr[x + 1]):
-                    f = slot_edge[s]
-                    fh = heads[f]
-                    if load[fh] - load[tails[f]] > 1:
-                        if f not in unhappy:
-                            unhappy[f] = (
-                                rank_to_v[f] if fh == ev[f] else rank_to_u[f]
-                            )
-                    elif f in unhappy:
-                        del unhappy[f]
-
-        stats.iterations += 1
-        stats.communication_rounds += ROUNDS_PER_REPAIR_ITERATION
-        stats.total_flips += len(selected)
-        stats.flips_per_iteration.append(len(selected))
+    run_repair_loop(
+        tracker,
+        num_nodes=n,
+        refresh_incident=refresh_incident,
+        rng=rng,
+        stats=stats,
+        max_iterations=max_iterations,
+        rounds_per_iteration=ROUNDS_PER_REPAIR_ITERATION,
+    )
 
     return heads, load, stats
 

@@ -60,11 +60,24 @@ def resolve_backend(
         already compact, because re-representing would cost more than the
         pass saves.
     """
-    choice = backend if backend is not None else os.environ.get(BACKEND_ENV_VAR, "auto")
+    if backend is not None:
+        choice = backend
+        source = "the backend= argument"
+    else:
+        choice = os.environ.get(BACKEND_ENV_VAR, "auto")
+        source = f"the {BACKEND_ENV_VAR} environment variable"
+    if not isinstance(choice, str):
+        # A non-string (e.g. backend=1) must raise the documented error,
+        # not an AttributeError from .lower() below.
+        raise BackendError(
+            f"backend name must be a string, got {choice!r} "
+            f"({type(choice).__name__}) from {source}"
+        )
     choice = choice.lower().strip()
     if choice not in BACKENDS:
         raise BackendError(
-            f"unknown backend {choice!r}; expected one of {BACKENDS}"
+            f"unknown backend {choice!r} from {source}; "
+            f"expected one of {BACKENDS}"
         )
     if choice == "auto":
         return auto

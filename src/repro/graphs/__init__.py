@@ -22,7 +22,13 @@ the reproduction operates on:
 """
 
 from repro.graphs.bipartite import CustomerServerGraph
-from repro.graphs.compact import CompactBipartite, CompactGraph, intern_nodes
+from repro.graphs.compact import (
+    CompactBipartite,
+    CompactGraph,
+    DeltaError,
+    DeltaOverlayGraph,
+    intern_nodes,
+)
 from repro.graphs.hypergraph import Hypergraph
 from repro.graphs.layered import LayeredGraph
 from repro.graphs.generators import (
@@ -58,6 +64,8 @@ __all__ = [
     "CompactBipartite",
     "CompactGraph",
     "CustomerServerGraph",
+    "DeltaError",
+    "DeltaOverlayGraph",
     "GraphValidationError",
     "intern_nodes",
     "Hypergraph",

@@ -252,6 +252,256 @@ class CompactGraph:
         return f"CompactGraph(nodes={self.num_nodes}, edges={self.num_edges})"
 
 
+class DeltaError(ValueError):
+    """Raised for invalid graph deltas (unknown nodes, duplicate edges, ...)."""
+
+
+class DeltaOverlayGraph:
+    """A mutable node/edge overlay over an immutable :class:`CompactGraph`.
+
+    The incremental engine (:mod:`repro.core.orientation.incremental`)
+    applies long churn traces to a solved instance; rebuilding the CSR
+    arrays per update would cost O(n + m) each time.  This view instead
+    keeps the base graph untouched and layers deltas on top:
+
+    * base edges carry their original edge indices; deleting one only
+      flips its bit in ``edge_alive``;
+    * inserted edges get fresh indices ``>= base.num_edges`` with their
+      endpoints appended to ``edge_u``/``edge_v`` and their adjacency
+      kept in per-node overlay lists;
+    * joined nodes get fresh dense ids ``>= base.num_nodes`` (appended,
+      *not* repr-sorted — consumers of the overlay never rely on the
+      dense-order-equals-repr-order invariant of :class:`CompactGraph`);
+    * a node that leaves keeps its dense slot (dead, degree 0) so edge
+      endpoints never dangle; re-joining the same id revives the slot.
+
+    Memo invalidation is precise: the base graph's ``derived`` cache
+    (``directed_ranks``, ``edge_keys``) is never touched — the base is
+    immutable, so those stay valid for anyone still holding the base —
+    while the overlay's own aggregate memos (``derived``) are dropped on
+    every mutation.  Per-edge facts (endpoints, repr keys derived from
+    them) are immutable per edge index and are therefore cached by
+    consumers without any invalidation protocol.
+    """
+
+    __slots__ = (
+        "base",
+        "node_ids",
+        "index_of",
+        "node_alive",
+        "edge_u",
+        "edge_v",
+        "edge_alive",
+        "extra_adj",
+        "degrees",
+        "sum_sq_degree",
+        "_edge_slot",
+        "_num_live_nodes",
+        "_num_live_edges",
+        "derived",
+    )
+
+    def __init__(self, base: CompactGraph) -> None:
+        self.base = base
+        n = base.num_nodes
+        m = base.num_edges
+        self.node_ids: List[NodeId] = list(base.node_ids)
+        self.index_of: Dict[NodeId, int] = dict(base.index_of)
+        self.node_alive = bytearray([1]) * n if n else bytearray()
+        self.edge_u: List[int] = list(base.edge_u)
+        self.edge_v: List[int] = list(base.edge_v)
+        self.edge_alive = bytearray([1]) * m if m else bytearray()
+        #: Dense node id -> overlay edge ids touching it (may contain
+        #: dead ids; iteration filters on ``edge_alive``).
+        self.extra_adj: Dict[int, List[int]] = {}
+        self.degrees: List[int] = [base.degree(i) for i in range(n)]
+        #: Σ deg(v)² over live nodes, maintained incrementally (sizes the
+        #: repair loop's safety valve without an O(n) rescan per update).
+        self.sum_sq_degree = sum(d * d for d in self.degrees)
+        #: Canonical edge key -> live edge index (duplicate detection and
+        #: delete lookup).
+        self._edge_slot: Dict[Tuple[NodeId, NodeId], int] = {
+            key: e for e, key in enumerate(base.edge_keys())
+        }
+        self._num_live_nodes = n
+        self._num_live_edges = m
+        #: Aggregate memos (dropped on every mutation); per-edge facts
+        #: never change for a given edge index and need no invalidation.
+        self.derived: Dict[str, object] = {}
+
+    # -- queries --------------------------------------------------------
+    @property
+    def num_live_nodes(self) -> int:
+        return self._num_live_nodes
+
+    @property
+    def num_live_edges(self) -> int:
+        return self._num_live_edges
+
+    @property
+    def num_edge_slots(self) -> int:
+        """Total edge indices ever allocated (live and dead)."""
+        return len(self.edge_u)
+
+    def has_node(self, node: NodeId) -> bool:
+        i = self.index_of.get(node)
+        return i is not None and bool(self.node_alive[i])
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        from repro.core.orientation.problem import edge_key
+
+        return edge_key(u, v) in self._edge_slot
+
+    def edge_index(self, u: NodeId, v: NodeId) -> int:
+        """Live edge index of {u, v}; raises :class:`DeltaError` if absent."""
+        from repro.core.orientation.problem import edge_key
+
+        key = edge_key(u, v)
+        e = self._edge_slot.get(key)
+        if e is None:
+            raise DeltaError(f"no live edge {key!r}")
+        return e
+
+    def incident_edges(self, i: int):
+        """Live edge indices incident to dense node ``i`` (lazy)."""
+        alive = self.edge_alive
+        if i < self.base.num_nodes:
+            ptr = self.base.indptr
+            slot_edge = self.base.slot_edge
+            for s in range(ptr[i], ptr[i + 1]):
+                e = slot_edge[s]
+                if alive[e]:
+                    yield e
+        for e in self.extra_adj.get(i, ()):
+            if alive[e]:
+                yield e
+
+    def live_node_indices(self) -> List[int]:
+        return [i for i in range(len(self.node_ids)) if self.node_alive[i]]
+
+    def live_edge_indices(self) -> List[int]:
+        return [e for e in range(len(self.edge_u)) if self.edge_alive[e]]
+
+    def edge_keys(self) -> Tuple[Tuple[NodeId, NodeId], ...]:
+        """Canonical keys of the live edges, in edge-index order (memoized)."""
+        cached = self.derived.get("edge_keys")
+        if cached is None:
+            ids = self.node_ids
+            from repro.core.orientation.problem import edge_key
+
+            cached = tuple(
+                edge_key(ids[self.edge_u[e]], ids[self.edge_v[e]])
+                for e in self.live_edge_indices()
+            )
+            self.derived["edge_keys"] = cached
+        return cached
+
+    # -- mutation -------------------------------------------------------
+    def add_node(self, node: NodeId) -> int:
+        """Add (or revive) an isolated node; returns its dense id."""
+        i = self.index_of.get(node)
+        if i is not None:
+            if self.node_alive[i]:
+                raise DeltaError(f"node {node!r} already exists")
+            self.node_alive[i] = 1
+        else:
+            i = len(self.node_ids)
+            self.node_ids.append(node)
+            self.index_of[node] = i
+            self.node_alive.append(1)
+            self.degrees.append(0)
+        self._num_live_nodes += 1
+        self.derived.clear()
+        return i
+
+    def remove_node(self, node: NodeId) -> List[int]:
+        """Remove a node and its incident edges; returns the removed edge ids."""
+        i = self.index_of.get(node)
+        if i is None or not self.node_alive[i]:
+            raise DeltaError(f"node {node!r} does not exist")
+        removed = list(self.incident_edges(i))
+        for e in removed:
+            self._kill_edge(e)
+        self.node_alive[i] = 0
+        self._num_live_nodes -= 1
+        self.derived.clear()
+        return removed
+
+    def add_edge(self, u: NodeId, v: NodeId) -> int:
+        """Insert edge {u, v} between existing live nodes; returns its id."""
+        from repro.core.orientation.problem import edge_key
+
+        key = edge_key(u, v)
+        if key in self._edge_slot:
+            raise DeltaError(f"duplicate edge {key!r}")
+        ui = self.index_of.get(u)
+        vi = self.index_of.get(v)
+        if ui is None or not self.node_alive[ui]:
+            raise DeltaError(f"unknown node {u!r} in edge {key!r}")
+        if vi is None or not self.node_alive[vi]:
+            raise DeltaError(f"unknown node {v!r} in edge {key!r}")
+        e = len(self.edge_u)
+        # Endpoints stored in canonical-key order, like CompactGraph.
+        ku, kv = key
+        self.edge_u.append(self.index_of[ku])
+        self.edge_v.append(self.index_of[kv])
+        self.edge_alive.append(1)
+        self.extra_adj.setdefault(ui, []).append(e)
+        self.extra_adj.setdefault(vi, []).append(e)
+        self._edge_slot[key] = e
+        self._bump_degree(ui, +1)
+        self._bump_degree(vi, +1)
+        self._num_live_edges += 1
+        self.derived.clear()
+        return e
+
+    def remove_edge(self, u: NodeId, v: NodeId) -> int:
+        """Delete edge {u, v}; returns the edge id that died."""
+        e = self.edge_index(u, v)
+        self._kill_edge(e)
+        self.derived.clear()
+        return e
+
+    def _kill_edge(self, e: int) -> None:
+        ids = self.node_ids
+        from repro.core.orientation.problem import edge_key
+
+        del self._edge_slot[edge_key(ids[self.edge_u[e]], ids[self.edge_v[e]])]
+        self.edge_alive[e] = 0
+        self._bump_degree(self.edge_u[e], -1)
+        self._bump_degree(self.edge_v[e], -1)
+        self._num_live_edges -= 1
+
+    def _bump_degree(self, i: int, delta: int) -> None:
+        d = self.degrees[i]
+        self.degrees[i] = d + delta
+        self.sum_sq_degree += (d + delta) * (d + delta) - d * d
+
+    # -- materialization ------------------------------------------------
+    def to_compact(self) -> CompactGraph:
+        """Materialize the live graph as a fresh (repr-sorted) CompactGraph."""
+        return CompactGraph.from_edges(
+            self.edge_keys(),
+            nodes=[self.node_ids[i] for i in self.live_node_indices()],
+        )
+
+    def to_orientation_problem(self):
+        """Materialize the live graph as a reference OrientationProblem."""
+        from repro.core.orientation.problem import OrientationProblem
+
+        return OrientationProblem(
+            edges=self.edge_keys(),
+            nodes=[self.node_ids[i] for i in self.live_node_indices()],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeltaOverlayGraph(live_nodes={self._num_live_nodes}, "
+            f"live_edges={self._num_live_edges}, "
+            f"slots={len(self.edge_u)})"
+        )
+
+
 class CompactBipartite:
     """An immutable customer--server bipartite graph in CSR form.
 

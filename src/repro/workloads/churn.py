@@ -1,0 +1,226 @@
+"""Seeded churn traces over the named workload scenarios.
+
+The incremental engine (:mod:`repro.core.orientation.incremental`) is
+exercised and benchmarked on *traces*: sequences of valid deltas applied
+to a solved instance.  This module generates them reproducibly.
+
+:func:`churn_trace` walks a mirror of the evolving graph (live nodes,
+live edge keys, adjacency) so that every emitted delta is valid at its
+position in the trace — inserts never duplicate an edge, deletes and
+leaves always name a live object, joins always attach to live nodes.
+Everything is driven by one ``random.Random(seed)`` over
+deterministically ordered structures, so a (instance, seed, mix) triple
+always yields the same trace.
+
+Mixes model the churn stories of the paper's introduction:
+
+* :data:`ARRIVALS_MIX` — a growing system: customers/servers joining and
+  new candidate edges appearing;
+* :data:`DEPARTURES_MIX` — a draining system: planned departures and
+  edge retirements;
+* :data:`FAILURES_MIX` — node failures dominate (a failed server takes
+  every incident edge with it);
+* :data:`MIXED_MIX` — steady state, all four delta kinds balanced.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Union
+
+from repro.core.orientation.incremental import (
+    Delta,
+    EdgeDelete,
+    EdgeInsert,
+    NodeJoin,
+    NodeLeave,
+)
+from repro.core.orientation.problem import OrientationProblem, edge_key
+from repro.graphs.compact import CompactGraph
+from repro.workloads.scenarios import layered_dag_orientation
+
+#: Relative weights of the four delta kinds, by name.
+ChurnMix = Dict[str, float]
+
+ARRIVALS_MIX: ChurnMix = {"insert": 0.35, "delete": 0.05, "join": 0.5, "leave": 0.1}
+DEPARTURES_MIX: ChurnMix = {"insert": 0.05, "delete": 0.35, "join": 0.1, "leave": 0.5}
+FAILURES_MIX: ChurnMix = {"insert": 0.1, "delete": 0.1, "join": 0.1, "leave": 0.7}
+MIXED_MIX: ChurnMix = {"insert": 0.25, "delete": 0.25, "join": 0.25, "leave": 0.25}
+
+MIXES: Dict[str, ChurnMix] = {
+    "arrivals": ARRIVALS_MIX,
+    "departures": DEPARTURES_MIX,
+    "failures": FAILURES_MIX,
+    "mixed": MIXED_MIX,
+}
+
+_KINDS = ("insert", "delete", "join", "leave")
+
+
+class _Mirror:
+    """Deterministically ordered live-graph mirror for trace generation.
+
+    Nodes and edge keys live in parallel (list, position-dict) pairs so
+    uniform sampling and swap-remove are both O(1) and fully determined
+    by the construction order.
+    """
+
+    def __init__(self, nodes, edges) -> None:
+        self.nodes: List = list(nodes)
+        self.node_pos = {node: i for i, node in enumerate(self.nodes)}
+        self.edges: List = list(edges)
+        self.edge_pos = {key: i for i, key in enumerate(self.edges)}
+        self.adjacency: Dict[object, set] = {node: set() for node in self.nodes}
+        for u, v in self.edges:
+            self.adjacency[u].add(v)
+            self.adjacency[v].add(u)
+
+    def _drop(self, items, positions, item) -> None:
+        i = positions.pop(item)
+        last = items.pop()
+        if last is not item and last != item:
+            items[i] = last
+            positions[last] = i
+
+    def add_edge(self, key) -> None:
+        self.edge_pos[key] = len(self.edges)
+        self.edges.append(key)
+        self.adjacency[key[0]].add(key[1])
+        self.adjacency[key[1]].add(key[0])
+
+    def remove_edge(self, key) -> None:
+        self._drop(self.edges, self.edge_pos, key)
+        self.adjacency[key[0]].discard(key[1])
+        self.adjacency[key[1]].discard(key[0])
+
+    def add_node(self, node) -> None:
+        self.node_pos[node] = len(self.nodes)
+        self.nodes.append(node)
+        self.adjacency[node] = set()
+
+    def remove_node(self, node) -> None:
+        for other in sorted(self.adjacency[node], key=repr):
+            self.remove_edge(edge_key(node, other))
+        self._drop(self.nodes, self.node_pos, node)
+        del self.adjacency[node]
+
+
+def churn_trace(
+    instance: Union[OrientationProblem, CompactGraph],
+    *,
+    num_updates: int,
+    seed: int = 0,
+    mix: Union[str, ChurnMix] = "mixed",
+    attach_degree: int = 3,
+    min_nodes: int = 2,
+) -> List[Delta]:
+    """A reproducible list of ``num_updates`` valid deltas for ``instance``.
+
+    Parameters
+    ----------
+    instance:
+        The starting graph (reference or compact form — the trace only
+        depends on its node/edge sets, which agree between the two).
+    mix:
+        A mix name from :data:`MIXES` or an explicit kind->weight dict.
+    attach_degree:
+        Upper bound on how many attach edges a :class:`NodeJoin` carries
+        (the actual count is sampled per join, 0 included).
+    min_nodes:
+        Departures are suppressed once the live graph is this small, so
+        a leave-heavy mix cannot drain the instance to nothing.
+    """
+    if isinstance(mix, str):
+        mix = MIXES[mix]
+    if isinstance(instance, CompactGraph):
+        mirror = _Mirror(instance.node_ids, instance.edge_keys())
+    else:
+        mirror = _Mirror(instance.nodes, instance.edges)
+
+    rng = random.Random(seed)
+    kinds = [kind for kind in _KINDS if mix.get(kind, 0.0) > 0.0]
+    weights = [mix[kind] for kind in kinds]
+    trace: List[Delta] = []
+    joined = 0
+
+    def try_insert() -> Optional[Delta]:
+        if len(mirror.nodes) < 2:
+            return None
+        for _ in range(30):
+            u, v = rng.sample(mirror.nodes, 2)
+            if v in mirror.adjacency[u]:
+                continue
+            key = edge_key(u, v)
+            mirror.add_edge(key)
+            return EdgeInsert(key[0], key[1])
+        return None
+
+    def try_delete() -> Optional[Delta]:
+        if not mirror.edges:
+            return None
+        key = mirror.edges[rng.randrange(len(mirror.edges))]
+        mirror.remove_edge(key)
+        return EdgeDelete(key[0], key[1])
+
+    def try_join() -> Optional[Delta]:
+        nonlocal joined
+        node = ("churn", joined)
+        joined += 1
+        cap = min(attach_degree, len(mirror.nodes))
+        attach = tuple(rng.sample(mirror.nodes, rng.randint(0, cap)))
+        mirror.add_node(node)
+        for other in attach:
+            mirror.add_edge(edge_key(node, other))
+        return NodeJoin(node, attach)
+
+    def try_leave() -> Optional[Delta]:
+        if len(mirror.nodes) <= min_nodes:
+            return None
+        node = mirror.nodes[rng.randrange(len(mirror.nodes))]
+        mirror.remove_node(node)
+        return NodeLeave(node)
+
+    makers = {
+        "insert": try_insert,
+        "delete": try_delete,
+        "join": try_join,
+        "leave": try_leave,
+    }
+
+    for _ in range(num_updates):
+        kind = rng.choices(kinds, weights)[0]
+        # A kind can be momentarily infeasible (no edge left to delete,
+        # graph at the min_nodes floor, dense enough that insert sampling
+        # gives up); fall through the remaining kinds deterministically
+        # so the trace always has exactly num_updates deltas.
+        start = _KINDS.index(kind)
+        delta = None
+        for offset in range(len(_KINDS)):
+            delta = makers[_KINDS[(start + offset) % len(_KINDS)]]()
+            if delta is not None:
+                break
+        if delta is None:  # pragma: no cover - needs an unreachable state
+            raise RuntimeError("no feasible delta kind; instance too degenerate")
+        trace.append(delta)
+    return trace
+
+
+#: Fixed parameters of the churn perf-regression smoke scenario: the
+#: same E1 layered-DAG family as the orientation gate at a mid size
+#: (~720 nodes), plus a fixed mixed trace.  ``benchmarks/bench_churn.py``
+#: times this exact replay and commits the medians to
+#: ``BENCH_churn.json``; ``scripts/check_bench_regression.py`` re-times
+#: it in CI — including the incremental-vs-scratch ratio floor that
+#: catches a silent full-recompute fallback.
+CHURN_SMOKE_PARAMS = dict(num_levels=12, width=60, edge_probability=0.05, seed=11)
+CHURN_SMOKE_TRACE = dict(num_updates=150, seed=13, mix="mixed")
+
+
+def churn_smoke(*, compact: bool = False):
+    """The fixed mid-size instance the churn perf gate replays."""
+    return layered_dag_orientation(**CHURN_SMOKE_PARAMS, compact=compact)
+
+
+def churn_smoke_trace(instance) -> List[Delta]:
+    """The fixed trace the churn perf gate replays over :func:`churn_smoke`."""
+    return churn_trace(instance, **CHURN_SMOKE_TRACE)

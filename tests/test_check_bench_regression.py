@@ -34,7 +34,9 @@ def _write_bench(tmp_path: Path, suite: str, scenario: str, median: float) -> No
     )
 
 
-def _fake_gate(*, with_reference: bool = True, agreement_error=None) -> "cbr.SuiteGate":
+def _fake_gate(
+    *, with_reference: bool = True, agreement_error=None, min_ratio=None
+) -> "cbr.SuiteGate":
     return cbr.SuiteGate(
         scenario="scenario",
         prepare=lambda: {},
@@ -43,6 +45,7 @@ def _fake_gate(*, with_reference: bool = True, agreement_error=None) -> "cbr.Sui
         check_agreement=(
             (lambda ctx: agreement_error) if with_reference else None
         ),
+        min_ratio=min_ratio,
     )
 
 
@@ -77,6 +80,18 @@ def test_silent_fallback_ratio_fails(monkeypatch, tmp_path, capsys):
     _patch(monkeypatch, _fake_gate(), [0.1, 0.15])
     assert cbr.main(["--bench-dir", str(tmp_path)]) == 1
     assert "silent fall-back" in capsys.readouterr().err
+
+
+def test_per_gate_min_ratio_overrides_cli_default(monkeypatch, tmp_path, capsys):
+    # A 5x ratio passes the 3x CLI default but fails a gate that demands
+    # 10x (the churn gate's incremental-vs-scratch contract).
+    _write_bench(tmp_path, "fake", "scenario", 0.1)
+    _patch(monkeypatch, _fake_gate(min_ratio=10.0), [0.1, 0.5])
+    assert cbr.main(["--bench-dir", str(tmp_path)]) == 1
+    assert "floor 10.0x" in capsys.readouterr().err
+
+    _patch(monkeypatch, _fake_gate(min_ratio=10.0), [0.1, 1.5])
+    assert cbr.main(["--bench-dir", str(tmp_path)]) == 0
 
 
 def test_min_budget_floor_shields_millisecond_scenarios(monkeypatch, tmp_path):
