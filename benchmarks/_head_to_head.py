@@ -13,6 +13,8 @@ from __future__ import annotations
 import statistics
 import time
 
+from repro import obs
+
 
 def median_time(fn, rounds: int):
     """Median wall time of ``fn`` over ``rounds`` runs, plus the last result."""
@@ -23,6 +25,38 @@ def median_time(fn, rounds: int):
         result = fn()
         times.append(time.perf_counter() - start)
     return statistics.median(times), result
+
+
+def phase_medians(fn, rounds: int = 3, prefix: str = "phase_median_"):
+    """Per-span-name median cumulative seconds across ``rounds`` traced runs.
+
+    Runs ``fn`` under a captured :mod:`repro.obs` sink, sums span
+    durations per name within each run, and returns the across-run median
+    per name, keyed ``{prefix}{span_name}`` so the rows drop straight
+    into ``benchmark.extra_info`` — which is how the committed
+    ``BENCH_*.json`` files gain a per-phase breakdown and the regression
+    gate's end-to-end medians become attributable to a specific phase.
+
+    The traced runs are separate from pytest-benchmark's timed rounds:
+    tracing adds overhead, so it must never run inside the measured
+    calibration loop.
+    """
+    per_name_runs = {}
+    for _ in range(rounds):
+        with obs.capture() as mem:
+            fn()
+        per_run = {}
+        for event in mem.events:
+            if event["type"] == "span":
+                per_run[event["name"]] = (
+                    per_run.get(event["name"], 0.0) + event["dur"]
+                )
+        for name, total in per_run.items():
+            per_name_runs.setdefault(name, []).append(total)
+    return {
+        f"{prefix}{name}": statistics.median(totals)
+        for name, totals in sorted(per_name_runs.items())
+    }
 
 
 def compact_median(benchmark):

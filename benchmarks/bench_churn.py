@@ -36,6 +36,7 @@ import statistics
 import time
 
 import pytest
+from _head_to_head import phase_medians
 
 from repro.core.orientation import (
     DynamicOrientation,
@@ -187,4 +188,7 @@ def test_churn_smoke_scale(benchmark, record_rows):
         nodes=len(compact_problem.node_ids),
         edges=compact_problem.num_edges,
         updates=len(trace),
+        **phase_medians(
+            lambda: _replay(compact_problem, trace, backend="compact")
+        ),
     )

@@ -32,7 +32,7 @@ from __future__ import annotations
 import os
 
 import pytest
-from _head_to_head import median_time, record_head_to_head
+from _head_to_head import median_time, phase_medians, record_head_to_head
 
 from repro.core.orientation import (
     run_bounded_stable_orientation,
@@ -212,6 +212,7 @@ def test_stable_orientation_head_to_head(benchmark, record_rows):
             edges=compact_problem.num_edges,
             phases=fast.phases,
             game_rounds=fast.game_rounds,
+            **phase_medians(lambda: run_stable_orientation(compact_problem)),
         ),
     )
 
@@ -248,6 +249,9 @@ def test_repair_head_to_head(benchmark, record_rows):
             edges=compact_problem.num_edges,
             iterations=fast_stats.iterations,
             flips=fast_stats.total_flips,
+            **phase_medians(
+                lambda: synchronous_repair_orientation(compact_problem, seed=2)
+            ),
         ),
     )
 
@@ -314,4 +318,5 @@ def test_stable_orientation_smoke_scale(benchmark, record_rows):
         edges=compact_problem.num_edges,
         phases=fast.phases,
         game_rounds=fast.game_rounds,
+        **phase_medians(lambda: run_stable_orientation(compact_problem)),
     )

@@ -25,12 +25,42 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import subprocess
+from datetime import datetime, timezone
 from pathlib import Path
 
 import pytest
 
 #: Repo root — conftest lives in <root>/benchmarks/.
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_provenance() -> dict:
+    """Where/when the committed medians were measured.
+
+    Timings are only comparable on the machine that produced them, so
+    every ``BENCH_*.json`` records enough to tell two environments apart.
+    The regression gate reads only the ``scenarios`` key and ignores
+    this block.
+    """
+    try:
+        git_sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        git_sha = None
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_sha": git_sha,
+    }
 
 
 def pytest_configure(config):  # noqa: D103 - pytest hook
@@ -82,6 +112,7 @@ def pytest_sessionfinish(session, exitstatus):
         payload = {
             "suite": f"bench_{name}.py",
             "unit": "seconds (median wall time per scenario)",
+            "provenance": bench_provenance(),
             "scenarios": dict(sorted(merged.items())),
         }
         target.write_text(json.dumps(payload, indent=2, default=str) + "\n")

@@ -23,9 +23,11 @@ measures the same quantities with wall-clock timing attached.
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import sys
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis import fit_power_law, markdown_table
@@ -97,19 +99,40 @@ def sweep(
     return results
 
 
-def report_top_slowest(opts: EngineOptions, count: int) -> None:
+def report_top_slowest(
+    opts: EngineOptions, count: int, *, as_json: bool = False
+) -> None:
     """Print the ``count`` slowest tasks of the run (hot spots at a glance).
 
     Per-task wall time is recorded in every result (and persisted as
     ``elapsed_seconds`` in the cache's ``results.jsonl``), so this report
     needs no re-profiling; cache-restored tasks report the wall time of
-    their original execution.
+    their original execution.  With ``as_json`` the same rows are also
+    written machine-readably to ``top_slowest.json`` next to the cache
+    (the working directory when no cache is configured).
     """
     if count <= 0 or not opts.collected:
         return
     slowest = sorted(
         opts.collected, key=lambda r: r.elapsed_seconds, reverse=True
     )[:count]
+    if as_json:
+        payload = {
+            "count": len(slowest),
+            "tasks": [
+                {
+                    "experiment": r.experiment,
+                    "params": dict(r.params),
+                    "seed": r.seed,
+                    "elapsed_seconds": r.elapsed_seconds,
+                    "cached": r.cached,
+                }
+                for r in slowest
+            ],
+        }
+        target = Path(opts.cache_dir or ".") / "top_slowest.json"
+        target.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+        print(f"top-slowest JSON written to {target}", file=sys.stderr)
     out(f"## Top {len(slowest)} slowest tasks\n")
     rows = []
     for result in slowest:
@@ -540,6 +563,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="after the report, list the N slowest tasks by recorded wall "
         "time (hot spots without re-profiling; 0 disables)",
     )
+    parser.add_argument(
+        "--json", dest="as_json", action="store_true",
+        help="with --top-slowest, also write the report as top_slowest.json "
+        "next to the cache (or into the working directory)",
+    )
     return parser
 
 
@@ -567,7 +595,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for name in EXPERIMENTS:
         if name in selected:
             EXPERIMENTS[name](opts)
-    report_top_slowest(opts, args.top_slowest)
+    report_top_slowest(opts, args.top_slowest, as_json=args.as_json)
     return 0
 
 

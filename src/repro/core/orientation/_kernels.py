@@ -42,6 +42,7 @@ import random
 from operator import itemgetter
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.graphs.compact import CompactGraph
 from repro.local_model.errors import AlgorithmError
 
@@ -261,140 +262,140 @@ def stable_orientation_kernel(
                 "this contradicts Lemma 5.5 and indicates a bug"
             )
 
-        # One fused edge scan per phase.  Steps 1 + 2: every unoriented
-        # edge proposes to its lower-load endpoint (canonical endpoint on
-        # ties) and every proposed-to node accepts its smallest-repr edge
-        # — edge indices are repr-ordered, so the first proposal a node
-        # sees in an ascending scan is the one the reference accepts.
-        # Step 3 input: the oriented edges of badness exactly 1 become
-        # the phase's token dropping game edges (tail = child, head =
-        # parent, Lemma 5.2), with tokens on the accepting nodes.  The
-        # game is restricted to nodes incident to a game edge: every
-        # other node (tokenless, or a token holder with no game
-        # neighbours) halts at round 0 with no LEAVE fan-out in the
-        # reference execution, so dropping it changes neither the
-        # surviving run nor its rounds.
-        accepted_edge: Dict[int, int] = {}
-        proposals = 0
-        game_edges: List[Tuple[int, int, int]] = []
-        participants: List[int] = []
-        for e in range(m):
-            h = heads[e]
-            if h < 0:
-                proposals += 1
-                u = eu[e]
-                v = ev[e]
-                target = v if load[v] < load[u] else u
-                if target not in accepted_edge:
-                    accepted_edge[target] = e
-                continue
-            t = eu[e] if h == ev[e] else ev[e]
-            if load[h] - load[t] == 1:
-                game_edges.append((t, h, e))
-                if sub[t] < 0:
-                    sub[t] = 0
-                    participants.append(t)
-                if sub[h] < 0:
-                    sub[h] = 0
-                    participants.append(h)
-        participants.sort()
-        for i, g in enumerate(participants):
-            sub[g] = i
-        num_participants = len(participants)
-
-        has_token = bytearray(num_participants)
-        for node in accepted_edge:
-            if sub[node] >= 0:
-                has_token[sub[node]] = 1
-        game, payloads = game_from_arrays(
-            num_participants,
-            has_token,
-            [load[g] for g in participants],
-            [(sub[t], sub[h], e) for t, h, e in game_edges],
-        )
-        par_ptr, chi_ptr = game.par_ptr, game.chi_ptr
-        game_degree = 0
-        for i in range(num_participants):
-            degree = (
-                par_ptr[i + 1] - par_ptr[i] + chi_ptr[i + 1] - chi_ptr[i]
-            )
-            if degree > game_degree:
-                game_degree = degree
-        height = max(load) if load else 0
-        # The reference budget: three LOCAL rounds per game round of the
-        # Theorem 4.1 bound computed from this instance's height/degree.
-        max_rounds = 3 * (8 * (height + 1) * (game_degree + 1) ** 2 + 8)
-        _, final_token, _, _, consumed, engine = proposal_game_kernel(
-            game,
-            max_rounds,
-            tie_break=tie_break,
-            rngs=_node_rngs(
-                tie_break, seed, tuple(ids[g] for g in participants)
-            )
-            if tie_break == "random"
-            else None,
-            count_messages=False,
-        )
-
-        for g in participants:
-            sub[g] = -1
-
-        if check_invariants:
-            # Maximality (output rule 3) is the part of the solution
-            # validation that guards Lemma 5.4; rules 1 and 2 hold by
-            # construction of the game kernel.
-            chi_ptr, chi_node, chi_edge = game.chi_ptr, game.chi_node, game.chi_edge
-            for i in range(num_participants):
-                if final_token[i] < 0:
-                    continue
-                for s in range(chi_ptr[i], chi_ptr[i + 1]):
-                    if not consumed[chi_edge[s]] and final_token[chi_node[s]] < 0:
-                        raise InvalidSolutionError(
-                            f"not maximal: token at {ids[participants[i]]!r} can "
-                            f"still move to {ids[participants[chi_node[s]]]!r}"
-                        )
-
-        # Step 4: flip every edge consumed by a pass (each game edge maps
-        # back to its oriented edge through the payload table; flipping is
-        # order-independent because every edge is consumed at most once).
-        edges_flipped = 0
-        for ge in range(game.num_edges):
-            if consumed[ge]:
-                e = payloads[ge]
+        with obs.span("orientation.phase", phase=phases) as psp:
+            # One fused edge scan per phase.  Steps 1 + 2: every unoriented
+            # edge proposes to its lower-load endpoint (canonical endpoint on
+            # ties) and every proposed-to node accepts its smallest-repr edge
+            # — edge indices are repr-ordered, so the first proposal a node
+            # sees in an ascending scan is the one the reference accepts.
+            # Step 3 input: the oriented edges of badness exactly 1 become
+            # the phase's token dropping game edges (tail = child, head =
+            # parent, Lemma 5.2), with tokens on the accepting nodes.  The
+            # game is restricted to nodes incident to a game edge: every
+            # other node (tokenless, or a token holder with no game
+            # neighbours) halts at round 0 with no LEAVE fan-out in the
+            # reference execution, so dropping it changes neither the
+            # surviving run nor its rounds.
+            accepted_edge: Dict[int, int] = {}
+            proposals = 0
+            game_edges: List[Tuple[int, int, int]] = []
+            participants: List[int] = []
+            for e in range(m):
                 h = heads[e]
+                if h < 0:
+                    proposals += 1
+                    u = eu[e]
+                    v = ev[e]
+                    target = v if load[v] < load[u] else u
+                    if target not in accepted_edge:
+                        accepted_edge[target] = e
+                    continue
                 t = eu[e] if h == ev[e] else ev[e]
-                heads[e] = t
-                load[h] -= 1
-                load[t] += 1
-                edges_flipped += 1
+                if load[h] - load[t] == 1:
+                    game_edges.append((t, h, e))
+                    if sub[t] < 0:
+                        sub[t] = 0
+                        participants.append(t)
+                    if sub[h] < 0:
+                        sub[h] = 0
+                        participants.append(h)
+            participants.sort()
+            for i, g in enumerate(participants):
+                sub[g] = i
+            num_participants = len(participants)
 
-        # Step 5: orient the accepted (previously unoriented) edges.
-        for node, e in accepted_edge.items():
-            heads[e] = node
-            load[node] += 1
-        oriented_count += len(accepted_edge)
-
-        max_badness = 0
-        for e in range(m):
-            h = heads[e]
-            if h < 0:
-                continue
-            t = eu[e] if h == ev[e] else ev[e]
-            badness = load[h] - load[t]
-            if badness > max_badness:
-                max_badness = badness
-        if check_invariants and max_badness > 1:
-            raise AlgorithmError(
-                f"phase {phases} ended with max badness {max_badness} > 1; "
-                "this contradicts Lemma 5.4 and indicates a bug"
+            has_token = bytearray(num_participants)
+            for node in accepted_edge:
+                if sub[node] >= 0:
+                    has_token[sub[node]] = 1
+            game, payloads = game_from_arrays(
+                num_participants,
+                has_token,
+                [load[g] for g in participants],
+                [(sub[t], sub[h], e) for t, h, e in game_edges],
+            )
+            par_ptr, chi_ptr = game.par_ptr, game.chi_ptr
+            game_degree = 0
+            for i in range(num_participants):
+                degree = (
+                    par_ptr[i + 1] - par_ptr[i] + chi_ptr[i + 1] - chi_ptr[i]
+                )
+                if degree > game_degree:
+                    game_degree = degree
+            height = max(load) if load else 0
+            # The reference budget: three LOCAL rounds per game round of the
+            # Theorem 4.1 bound computed from this instance's height/degree.
+            max_rounds = 3 * (8 * (height + 1) * (game_degree + 1) ** 2 + 8)
+            _, final_token, _, _, consumed, engine = proposal_game_kernel(
+                game,
+                max_rounds,
+                tie_break=tie_break,
+                rngs=_node_rngs(
+                    tie_break, seed, tuple(ids[g] for g in participants)
+                )
+                if tie_break == "random"
+                else None,
+                count_messages=False,
             )
 
-        td_comm_rounds = engine.rounds
-        td_game_rounds = -(-td_comm_rounds // 3)  # ceil, as in reconstruct_solution
-        game_rounds += td_game_rounds + PHASE_OVERHEAD_ROUNDS
-        communication_rounds += td_comm_rounds + PHASE_OVERHEAD_ROUNDS
-        per_phase.append(
-            PhaseStats(
+            for g in participants:
+                sub[g] = -1
+
+            if check_invariants:
+                # Maximality (output rule 3) is the part of the solution
+                # validation that guards Lemma 5.4; rules 1 and 2 hold by
+                # construction of the game kernel.
+                chi_ptr, chi_node, chi_edge = game.chi_ptr, game.chi_node, game.chi_edge
+                for i in range(num_participants):
+                    if final_token[i] < 0:
+                        continue
+                    for s in range(chi_ptr[i], chi_ptr[i + 1]):
+                        if not consumed[chi_edge[s]] and final_token[chi_node[s]] < 0:
+                            raise InvalidSolutionError(
+                                f"not maximal: token at {ids[participants[i]]!r} can "
+                                f"still move to {ids[participants[chi_node[s]]]!r}"
+                            )
+
+            # Step 4: flip every edge consumed by a pass (each game edge maps
+            # back to its oriented edge through the payload table; flipping is
+            # order-independent because every edge is consumed at most once).
+            edges_flipped = 0
+            for ge in range(game.num_edges):
+                if consumed[ge]:
+                    e = payloads[ge]
+                    h = heads[e]
+                    t = eu[e] if h == ev[e] else ev[e]
+                    heads[e] = t
+                    load[h] -= 1
+                    load[t] += 1
+                    edges_flipped += 1
+
+            # Step 5: orient the accepted (previously unoriented) edges.
+            for node, e in accepted_edge.items():
+                heads[e] = node
+                load[node] += 1
+            oriented_count += len(accepted_edge)
+
+            max_badness = 0
+            for e in range(m):
+                h = heads[e]
+                if h < 0:
+                    continue
+                t = eu[e] if h == ev[e] else ev[e]
+                badness = load[h] - load[t]
+                if badness > max_badness:
+                    max_badness = badness
+            if check_invariants and max_badness > 1:
+                raise AlgorithmError(
+                    f"phase {phases} ended with max badness {max_badness} > 1; "
+                    "this contradicts Lemma 5.4 and indicates a bug"
+                )
+
+            td_comm_rounds = engine.rounds
+            td_game_rounds = -(-td_comm_rounds // 3)  # ceil, as in reconstruct_solution
+            game_rounds += td_game_rounds + PHASE_OVERHEAD_ROUNDS
+            communication_rounds += td_comm_rounds + PHASE_OVERHEAD_ROUNDS
+            phase_stats = PhaseStats(
                 phase=phases,
                 proposals=proposals,
                 accepted=len(accepted_edge),
@@ -406,7 +407,20 @@ def stable_orientation_kernel(
                 edges_oriented_total=oriented_count,
                 max_badness_after=max_badness,
             )
-        )
+            per_phase.append(phase_stats)
+            psp.set(
+                proposals=phase_stats.proposals,
+                accepted=phase_stats.accepted,
+                tokens=phase_stats.tokens,
+                game_rounds=phase_stats.token_dropping_game_rounds,
+                communication_rounds=(
+                    phase_stats.token_dropping_communication_rounds
+                ),
+                height=phase_stats.token_dropping_height,
+                edges_flipped=phase_stats.edges_flipped,
+                oriented_total=phase_stats.edges_oriented_total,
+                max_badness=phase_stats.max_badness_after,
+            )
 
     if check_invariants:
         violations = []
@@ -495,15 +509,23 @@ def repair_kernel(
     def refresh_incident(x: int) -> None:
         tracker.refresh_slots(slot_edge, indptr[x], indptr[x + 1])
 
-    run_repair_loop(
-        tracker,
-        num_nodes=n,
-        refresh_incident=refresh_incident,
-        rng=rng,
-        stats=stats,
-        max_iterations=max_iterations,
-        rounds_per_iteration=ROUNDS_PER_REPAIR_ITERATION,
-    )
+    with obs.span(
+        "orientation.repair", nodes=n, edges=m, initial_unhappy=len(tracker)
+    ) as sp:
+        run_repair_loop(
+            tracker,
+            num_nodes=n,
+            refresh_incident=refresh_incident,
+            rng=rng,
+            stats=stats,
+            max_iterations=max_iterations,
+            rounds_per_iteration=ROUNDS_PER_REPAIR_ITERATION,
+        )
+        sp.set(
+            iterations=stats.iterations,
+            flips=stats.total_flips,
+            communication_rounds=stats.communication_rounds,
+        )
 
     return heads, load, stats
 

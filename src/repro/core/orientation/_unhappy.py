@@ -33,6 +33,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Sequence
 
+from repro import obs
+
 __all__ = ["UnhappyEdgeTracker", "run_repair_loop"]
 
 
@@ -177,6 +179,10 @@ def run_repair_loop(
     heads = tracker.heads
     tails = tracker.tails
     load = tracker.load
+    # Hoisted: the loop runs per repair iteration with O(unhappy) work
+    # inside; three disabled-metric calls per iteration would still be
+    # three wasted function calls each time around.
+    traced = obs.enabled()
     while tracker.unhappy:
         if stats.iterations >= max_iterations:
             raise RuntimeError(
@@ -215,3 +221,7 @@ def run_repair_loop(
         stats.communication_rounds += rounds_per_iteration
         stats.total_flips += len(selected)
         stats.flips_per_iteration.append(len(selected))
+        if traced:
+            obs.add("repair.iterations")
+            obs.observe("repair.unhappy_edges", len(batch))
+            obs.observe("repair.flips_per_iteration", len(selected))

@@ -63,6 +63,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.core.orientation._unhappy import UnhappyEdgeTracker, run_repair_loop
 from repro.core.orientation.problem import (
     Orientation,
@@ -535,7 +536,19 @@ class DynamicOrientation:
             seed if seed is not None else self._seed * 1_000_003 + self._updates
         )
         self._updates += 1
-        return self._impl.apply(delta, update_seed)
+        with obs.span(
+            "churn.apply", kind=type(delta).__name__, backend=self.backend
+        ) as sp:
+            stats = self._impl.apply(delta, update_seed)
+            sp.set(
+                frontier_nodes=stats.frontier_nodes,
+                edges_inserted=stats.edges_inserted,
+                edges_removed=stats.edges_removed,
+                initial_unhappy=stats.repair.initial_unhappy,
+                repair_iterations=stats.repair.iterations,
+                repair_flips=stats.repair.total_flips,
+            )
+        return stats
 
     # -- queries --------------------------------------------------------
     @property

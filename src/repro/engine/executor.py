@@ -28,6 +28,7 @@ import os
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.engine.cache import ResultCache
 from repro.engine.progress import ProgressCallback
 from repro.engine.results import ResultSet, TaskResult, result_from_record
@@ -63,10 +64,28 @@ def execute_task(task: TaskSpec, measure: Optional[MeasureFn] = None) -> TaskRes
 
     ``measure`` short-circuits reference resolution for in-process callers
     holding a non-importable callable (the serial path of ``run_sweep``).
+
+    With observability enabled the measure runs under a captured
+    ``engine.task`` span and the events ride back on the result's
+    ``trace_events`` — the only channel that reliably crosses the process
+    pool (workers must not write to a sink file the parent also holds).
+    The parent re-emits them into its own sink in ``run_experiment``.
     """
     fn = measure if measure is not None else resolve_measure(task.measure_ref)
+    trace_events: List[Dict[str, object]] = []
     start = time.perf_counter()
-    values = dict(fn(seed=task.seed, **dict(task.params)))
+    if obs.enabled():
+        with obs.capture() as mem:
+            with obs.span(
+                "engine.task",
+                experiment=task.experiment,
+                seed=task.seed,
+                params=dict(task.params),
+            ):
+                values = dict(fn(seed=task.seed, **dict(task.params)))
+        trace_events = mem.events
+    else:
+        values = dict(fn(seed=task.seed, **dict(task.params)))
     elapsed = time.perf_counter() - start
     return TaskResult(
         experiment=task.experiment,
@@ -77,6 +96,7 @@ def execute_task(task: TaskSpec, measure: Optional[MeasureFn] = None) -> TaskRes
         task_hash=task.task_hash(),
         cached=False,
         index=task.index,
+        trace_events=trace_events,
     )
 
 
@@ -225,6 +245,16 @@ def run_experiment(
     def _record_and_report(result: TaskResult) -> None:
         if cache is not None:
             cache.append(result.to_record())
+        if result.trace_events:
+            # Fresh results carry their captured task events (possibly
+            # from a pool worker); forward them into the parent's sink so
+            # a single JSONL trace covers the whole sweep.  Cache-restored
+            # results are not re-emitted — their work did not happen in
+            # this run.
+            sink = obs.current_sink()
+            if sink is not None:
+                for event in result.trace_events:
+                    sink.emit(event)
         if progress is not None:
             progress(result)
 

@@ -26,10 +26,15 @@ class TaskResult:
     task_hash: str
     cached: bool = False
     index: int = 0
+    #: Observability events captured while the task ran (empty unless a
+    #: sink was enabled).  Persisted in the cache record, so traces
+    #: recorded on pool workers propagate back through the existing JSONL
+    #: plumbing and survive cache restores.
+    trace_events: List[Dict[str, Any]] = field(default_factory=list)
 
     def to_record(self) -> Dict[str, Any]:
         """The JSON-line payload persisted by :mod:`repro.engine.cache`."""
-        return {
+        record = {
             "task_hash": self.task_hash,
             "experiment": self.experiment,
             "params": dict(self.params),
@@ -37,6 +42,9 @@ class TaskResult:
             "values": dict(self.values),
             "elapsed_seconds": self.elapsed_seconds,
         }
+        if self.trace_events:
+            record["trace"] = list(self.trace_events)
+        return record
 
 
 @dataclass
@@ -125,4 +133,5 @@ def result_from_record(
         task_hash=str(record["task_hash"]),
         cached=True,
         index=index,
+        trace_events=list(record.get("trace", [])),
     )

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Optional
 
+from repro import obs
 from repro.dispatch import BackendError, resolve_backend
 from repro.local_model.compact import CompactNetwork
 from repro.local_model.errors import RoundLimitExceeded
@@ -152,9 +153,15 @@ class Runner:
 
     def _run_compact(self, kernel: Any) -> ExecutionResult:
         """Fast path: intern the network once and run the int-array kernel."""
-        compact = CompactNetwork.of(self.network)
-        dense_outputs, metrics = kernel(compact, self.max_rounds)
-        metrics.terminated = True
+        with obs.span("local.run", backend="compact") as sp:
+            compact = CompactNetwork.of(self.network)
+            dense_outputs, metrics = kernel(compact, self.max_rounds)
+            metrics.terminated = True
+            sp.set(
+                nodes=metrics.total_nodes,
+                rounds=metrics.rounds,
+                messages=metrics.messages_sent,
+            )
         outputs = {
             compact.node_ids[i]: output for i, output in enumerate(dense_outputs)
         }
@@ -162,19 +169,42 @@ class Runner:
 
     def _run_reference(self) -> ExecutionResult:
         """Reference path: the per-node state-machine scheduler."""
-        scheduler = SynchronousScheduler(self.network, self.factory, trace=self.trace)
-        scheduler.start()
-        while not scheduler.all_halted():
-            if scheduler.round_number >= self.max_rounds:
-                scheduler.stop()
-                raise RoundLimitExceeded(
-                    self.max_rounds, sum(1 for _ in scheduler.active_nodes())
-                )
-            scheduler.step()
-        scheduler.stop()
+        with obs.span("local.run", backend="dict") as sp:
+            scheduler = SynchronousScheduler(
+                self.network, self.factory, trace=self.trace
+            )
+            # Hoisted: at up to DEFAULT_MAX_ROUNDS iterations, even the
+            # disabled span() call (and its kwargs dict) would be a
+            # measurable per-round cost.
+            traced = obs.enabled()
+            scheduler.start()
+            while not scheduler.all_halted():
+                if scheduler.round_number >= self.max_rounds:
+                    scheduler.stop()
+                    raise RoundLimitExceeded(
+                        self.max_rounds, sum(1 for _ in scheduler.active_nodes())
+                    )
+                if traced:
+                    messages_before = scheduler.metrics.messages_sent
+                    with obs.span(
+                        "local.round", round=scheduler.round_number + 1
+                    ) as rsp:
+                        scheduler.step()
+                        rsp.set(
+                            messages=scheduler.metrics.messages_sent
+                            - messages_before
+                        )
+                else:
+                    scheduler.step()
+            scheduler.stop()
 
-        metrics: ExecutionMetrics = scheduler.metrics
-        metrics.terminated = True
+            metrics: ExecutionMetrics = scheduler.metrics
+            metrics.terminated = True
+            sp.set(
+                nodes=metrics.total_nodes,
+                rounds=metrics.rounds,
+                messages=metrics.messages_sent,
+            )
         outputs = {
             node_id: ctx.output for node_id, ctx in scheduler.contexts.items()
         }

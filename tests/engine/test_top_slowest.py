@@ -59,3 +59,44 @@ def test_cli_exposes_top_slowest_flag():
     args = parser.parse_args(["--top-slowest", "7"])
     assert args.top_slowest == 7
     assert parser.parse_args([]).top_slowest == 0
+
+
+def test_cli_exposes_json_flag():
+    parser = run_experiments.build_parser()
+    assert parser.parse_args(["--top-slowest", "3", "--json"]).as_json
+    assert not parser.parse_args([]).as_json
+
+
+def test_json_mode_writes_report_next_to_cache(tmp_path, capsys):
+    import json
+
+    opts = run_experiments.EngineOptions(cache_dir=str(tmp_path))
+    opts.collected = [
+        result("E1", 0.5, delta=2),
+        result("E3", 2.5, delta=8),
+        result("E1", 1.25, delta=4, cached=True),
+    ]
+    run_experiments.report_top_slowest(opts, 2, as_json=True)
+
+    # The markdown report still prints alongside the JSON artifact.
+    assert "Top 2 slowest tasks" in capsys.readouterr().out
+    payload = json.loads((tmp_path / "top_slowest.json").read_text())
+    assert payload["count"] == 2
+    assert [t["experiment"] for t in payload["tasks"]] == ["E3", "E1"]
+    assert payload["tasks"][0] == {
+        "experiment": "E3",
+        "params": {"delta": 8},
+        "seed": 0,
+        "elapsed_seconds": 2.5,
+        "cached": False,
+    }
+    assert payload["tasks"][1]["cached"] is True
+
+
+def test_json_mode_defaults_to_working_directory(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    opts = run_experiments.EngineOptions()
+    opts.collected = [result("E1", 0.5, delta=2)]
+    run_experiments.report_top_slowest(opts, 1, as_json=True)
+    capsys.readouterr()
+    assert (tmp_path / "top_slowest.json").exists()

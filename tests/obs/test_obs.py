@@ -1,0 +1,314 @@
+"""Unit tests for :mod:`repro.obs`: sinks, spans, metrics, env config.
+
+The contract under test is the one the hot paths rely on: disabled
+observability allocates nothing and emits nothing, enabled observability
+records spans with correct nesting/timing/attributes, and the JSONL sink
+round-trips every event losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.sinks import JsonlSink, MemorySink, load_jsonl, replay
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Every test starts and ends with observability disabled."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+# ----------------------------------------------------------------------
+# Disabled-sink no-op semantics
+# ----------------------------------------------------------------------
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+        assert obs.current_sink() is None
+
+    def test_span_returns_shared_null_singleton(self):
+        # The zero-overhead guarantee: no allocation per disabled span.
+        assert obs.span("a") is obs.span("b", x=1) is obs.NULL_SPAN
+
+    def test_null_span_is_reusable_context_manager(self):
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                assert inner is outer is obs.NULL_SPAN
+                assert inner.set(a=1) is inner
+
+    def test_metrics_are_no_ops(self):
+        obs.add("c")
+        obs.add("c", 5, tag="x")
+        obs.gauge("g", 3)
+        obs.observe("h", 0.5)
+        # Nothing crashed, nothing recorded anywhere.
+        assert obs.current_sink() is None
+
+    def test_null_span_swallows_nothing(self):
+        with pytest.raises(ValueError):
+            with obs.span("failing"):
+                raise ValueError("propagates")
+
+
+# ----------------------------------------------------------------------
+# Spans: nesting, timing, attributes
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_span_event_shape(self):
+        sink = obs.configure(MemorySink())
+        with obs.span("work", n=10) as sp:
+            sp.set(result="done")
+        (event,) = sink.events
+        assert event["type"] == "span"
+        assert event["name"] == "work"
+        assert event["attrs"] == {"n": 10, "result": "done"}
+        assert event["pid"] == os.getpid()
+        assert event["parent"] is None
+        assert event["dur"] >= 0.0
+
+    def test_span_times_the_block(self):
+        sink = obs.configure(MemorySink())
+        with obs.span("sleepy"):
+            time.sleep(0.01)
+        (event,) = sink.events
+        assert event["dur"] >= 0.009
+
+    def test_nesting_links_parent_ids(self):
+        sink = obs.configure(MemorySink())
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+            with obs.span("inner"):
+                pass
+        inner_a, inner_b, outer = sink.events
+        assert outer["name"] == "outer" and outer["parent"] is None
+        assert inner_a["parent"] == outer["id"]
+        assert inner_b["parent"] == outer["id"]
+        assert inner_a["id"] != inner_b["id"]
+
+    def test_children_emit_before_parent_and_within_its_time(self):
+        sink = obs.configure(MemorySink())
+        with obs.span("outer"):
+            with obs.span("inner"):
+                time.sleep(0.005)
+        inner, outer = sink.events
+        assert inner["name"] == "inner"
+        assert outer["dur"] >= inner["dur"]
+
+    def test_sibling_spans_share_no_parent(self):
+        sink = obs.configure(MemorySink())
+        with obs.span("a"):
+            pass
+        with obs.span("b"):
+            pass
+        a, b = sink.events
+        assert a["parent"] is None and b["parent"] is None
+
+    def test_exception_still_emits_and_unwinds(self):
+        sink = obs.configure(MemorySink())
+        with pytest.raises(RuntimeError):
+            with obs.span("outer"):
+                with obs.span("failing"):
+                    raise RuntimeError("boom")
+        assert [e["name"] for e in sink.events] == ["failing", "outer"]
+        # The stack unwound: a new span is a root again.
+        with obs.span("after"):
+            pass
+        assert sink.events[-1]["parent"] is None
+
+    def test_attrs_overwrite(self):
+        sink = obs.configure(MemorySink())
+        with obs.span("s", phase=1) as sp:
+            sp.set(phase=2, extra="x")
+        assert sink.events[0]["attrs"] == {"phase": 2, "extra": "x"}
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_accumulates(self):
+        sink = obs.configure(MemorySink())
+        obs.add("hits")
+        obs.add("hits", 2)
+        obs.add("misses", 7)
+        assert sink.counter_total("hits") == 3
+        assert sink.counter_total("misses") == 7
+        assert sink.counter_total("absent") == 0
+
+    def test_gauge_last_write_wins(self):
+        sink = obs.configure(MemorySink())
+        obs.gauge("depth", 1)
+        obs.gauge("depth", 5)
+        assert sink.gauge_value("depth") == 5
+        assert sink.gauge_value("absent") is None
+
+    def test_histogram_keeps_raw_samples(self):
+        sink = obs.configure(MemorySink())
+        for v in (3, 1, 2):
+            obs.observe("sizes", v)
+        assert sink.samples("sizes") == [3, 1, 2]
+
+    def test_metric_attrs_optional(self):
+        sink = obs.configure(MemorySink())
+        obs.add("c", 1, kind="x")
+        obs.add("c", 1)
+        with_attrs, without = sink.events
+        assert with_attrs["attrs"] == {"kind": "x"}
+        assert "attrs" not in without
+
+
+# ----------------------------------------------------------------------
+# Sink management: configure / disable / use / capture
+# ----------------------------------------------------------------------
+class TestSinkManagement:
+    def test_configure_and_disable(self):
+        sink = obs.configure(MemorySink())
+        assert obs.enabled() and obs.current_sink() is sink
+        obs.disable()
+        assert not obs.enabled() and obs.current_sink() is None
+
+    def test_use_swaps_and_restores(self):
+        outer = obs.configure(MemorySink())
+        inner = MemorySink()
+        with obs.use(inner):
+            obs.add("c")
+        obs.add("c")
+        assert inner.counter_total("c") == 1
+        assert outer.counter_total("c") == 1
+
+    def test_use_none_disables_temporarily(self):
+        outer = obs.configure(MemorySink())
+        with obs.use(None):
+            assert not obs.enabled()
+            obs.add("dropped")
+        assert obs.current_sink() is outer
+        assert outer.events == []
+
+    def test_capture_isolates_events_and_roots_spans(self):
+        outer = obs.configure(MemorySink())
+        with obs.span("outer-span"):
+            with obs.capture() as mem:
+                with obs.span("captured"):
+                    pass
+        # The captured span went only to the capture sink, rooted.
+        (captured,) = mem.events
+        assert captured["name"] == "captured"
+        assert captured["parent"] is None
+        # The outer sink saw only its own span.
+        assert [e["name"] for e in outer.events] == ["outer-span"]
+
+    def test_capture_restores_outer_stack(self):
+        outer = obs.configure(MemorySink())
+        with obs.span("outer-span"):
+            with obs.capture():
+                pass
+            with obs.span("child"):
+                pass
+        child, outer_span = outer.events
+        assert child["parent"] == outer_span["id"]
+
+    def test_configure_from_env(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = obs.configure_from_env({"REPRO_TRACE": str(path)})
+        assert isinstance(sink, JsonlSink)
+        obs.add("c")
+        obs.disable()
+        assert load_jsonl(str(path))[0]["name"] == "c"
+
+    def test_configure_from_env_noop_without_var(self):
+        assert obs.configure_from_env({}) is None
+        assert not obs.enabled()
+
+
+# ----------------------------------------------------------------------
+# JSONL round-trip
+# ----------------------------------------------------------------------
+class TestJsonl:
+    def test_round_trip_preserves_every_event(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs.configure(JsonlSink(str(path)))
+        with obs.span("outer", graph_n=4):
+            obs.add("repair.iterations")
+            obs.observe("unhappy", 3)
+            with obs.span("inner") as sp:
+                sp.set(flips=2)
+        obs.gauge("height", 7)
+        obs.disable()  # closes the file
+
+        events = load_jsonl(str(path))
+        # Same events, same order, as an in-memory capture would hold.
+        assert [e["type"] for e in events] == [
+            "counter",
+            "hist",
+            "span",
+            "span",
+            "gauge",
+        ]
+        inner, outer = events[2], events[3]
+        assert inner["name"] == "inner" and inner["attrs"] == {"flips": 2}
+        assert outer["name"] == "outer" and inner["parent"] == outer["id"]
+
+    def test_jsonl_matches_memory_event_for_event(self, tmp_path):
+        def workload():
+            with obs.span("s", k=1):
+                obs.add("c", 2)
+                obs.observe("h", 0.5)
+
+        mem = MemorySink()
+        with obs.use(mem):
+            workload()
+        path = tmp_path / "trace.jsonl"
+        with obs.use(JsonlSink(str(path))) as jsonl:
+            workload()
+            jsonl.close()
+        loaded = load_jsonl(str(path))
+        # Span ids/starts differ between runs; compare the stable parts.
+        for recorded, reloaded in zip(mem.events, loaded):
+            for key in ("type", "name", "pid"):
+                assert recorded[key] == reloaded[key]
+            if recorded["type"] == "span":
+                assert recorded["attrs"] == reloaded["attrs"]
+            else:
+                assert recorded["value"] == reloaded["value"]
+
+    def test_appends_and_flushes_per_event(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = obs.configure(JsonlSink(str(path)))
+        obs.add("first")
+        # Flushed per event: readable before close, e.g. from a crashed run.
+        assert len(load_jsonl(str(path))) == 1
+        obs.add("second")
+        sink.close()
+        assert [e["name"] for e in load_jsonl(str(path))] == ["first", "second"]
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "t.jsonl"))
+        sink.emit({"type": "counter", "name": "c", "value": 1, "pid": 1})
+        sink.close()
+        sink.close()
+
+    def test_replay_into_memory_sink(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs.configure(JsonlSink(str(path)))
+        obs.add("c", 3)
+        obs.disable()
+        mem = MemorySink()
+        replay(load_jsonl(str(path)), mem)
+        assert mem.counter_total("c") == 3
+
+    def test_blank_lines_skipped_truncation_is_loud(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "counter", "name": "c", "value": 1}\n\n')
+        assert len(load_jsonl(str(path))) == 1
+        path.write_text('{"type": "counter", "na')  # crashed writer
+        with pytest.raises(json.JSONDecodeError):
+            load_jsonl(str(path))

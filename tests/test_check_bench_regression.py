@@ -66,6 +66,33 @@ def test_passing_gate(monkeypatch, tmp_path):
     assert cbr.main(["--bench-dir", str(tmp_path)]) == 0
 
 
+def test_provenance_and_extra_keys_are_ignored(monkeypatch, tmp_path):
+    # Regenerated BENCH files carry a top-level "provenance" stamp and
+    # per-scenario phase_median_* rows; the gate must only ever read
+    # scenarios[...]["median_seconds"].
+    (tmp_path / "BENCH_fake.json").write_text(
+        json.dumps(
+            {
+                "provenance": {
+                    "git_sha": "deadbeef",
+                    "python_version": "3.99.0",
+                    "platform": "ci-runner",
+                    "timestamp": "2026-08-08T00:00:00+00:00",
+                },
+                "scenarios": {
+                    "scenario": {
+                        "median_seconds": 0.1,
+                        "phase_median_orientation.phase": 0.004,
+                        "rounds": 8,
+                    }
+                },
+            }
+        )
+    )
+    _patch(monkeypatch, _fake_gate(), [0.12, 1.0])
+    assert cbr.main(["--bench-dir", str(tmp_path)]) == 0
+
+
 def test_regression_beyond_budget_fails(monkeypatch, tmp_path, capsys):
     _write_bench(tmp_path, "fake", "scenario", 0.1)
     _patch(monkeypatch, _fake_gate(), [0.5, 5.0])
