@@ -12,8 +12,32 @@ from __future__ import annotations
 
 import statistics
 import time
+import tracemalloc
 
 from repro import obs
+
+
+def peak_memory(fn):
+    """Peak Python-heap allocation (in MB) during one run of ``fn``.
+
+    Measured with :mod:`tracemalloc` in a *separate, untimed* run —
+    tracing every allocation slows the interpreter severalfold, so this
+    must never wrap a timed round.  The number is the peak of allocations
+    made while ``fn`` runs (the instance being benchmarked usually
+    already exists, so this captures the algorithm's working set, not the
+    input's footprint).  Returns ``(peak_mb, result)``.
+    """
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not already_tracing:
+            tracemalloc.stop()
+    return peak / (1024 * 1024), result
 
 
 def median_time(fn, rounds: int):

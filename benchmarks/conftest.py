@@ -118,6 +118,44 @@ def pytest_sessionfinish(session, exitstatus):
         target.write_text(json.dumps(payload, indent=2, default=str) + "\n")
 
 
+def pytest_sessionstart(session):
+    """Give every timed scenario a ``peak_mb`` row in ``extra_info``.
+
+    Wraps ``BenchmarkFixture.__call__`` (the plugin type-checks the
+    funcarg, so a wrapper *object* is not an option): the benchmarked
+    callable first runs once under :func:`_head_to_head.peak_memory`, so
+    the committed ``BENCH_*.json`` files report the algorithm's
+    Python-heap peak alongside the median — while the tracing overhead
+    never contaminates the timed rounds that follow.  The regression
+    gate keeps reading only ``median_seconds``; the memory column is
+    trajectory data.  Smoke runs skip the extra pass — their shrunken
+    instances say nothing about full-scale footprints.
+    """
+    try:
+        from pytest_benchmark.fixture import BenchmarkFixture
+    except ImportError:  # pragma: no cover - plugin absent, nothing to wrap
+        return
+    if getattr(BenchmarkFixture.__call__, "_records_peak_mb", False):
+        return
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    from _head_to_head import peak_memory
+
+    timed_call = BenchmarkFixture.__call__
+
+    def call_with_peak(self, function_to_benchmark, *args, **kwargs):
+        if os.environ.get("REPRO_BENCH_SMOKE", "") != "1":
+            peak_mb, _ = peak_memory(
+                lambda: function_to_benchmark(*args, **kwargs)
+            )
+            self.extra_info["peak_mb"] = round(peak_mb, 3)
+        return timed_call(self, function_to_benchmark, *args, **kwargs)
+
+    call_with_peak._records_peak_mb = True
+    BenchmarkFixture.__call__ = call_with_peak
+
+
 @pytest.fixture
 def record_rows(benchmark):
     """Helper to stash arbitrary result rows in the benchmark's extra info."""

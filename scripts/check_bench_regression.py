@@ -59,8 +59,9 @@ class SuiteGate:
     #: Same-machine reference for the ratio floor; None when the suite has
     #: no compact fast path (budget check only).
     reference: Optional[Callable[[dict], object]] = None
-    #: Compact-vs-reference agreement check; returns an error message or
-    #: None.  Only meaningful alongside ``reference``.
+    #: Correctness check run before any timing; returns an error message
+    #: or None.  Usually compact-vs-reference agreement; budget-only
+    #: gates may use it for structural invariants instead.
     check_agreement: Optional[Callable[[dict], Optional[str]]] = None
     #: Per-gate override of the ``--min-ratio`` floor.  The churn gate
     #: uses this: its whole contract is that incremental re-stabilization
@@ -225,6 +226,37 @@ def _churn_gate() -> SuiteGate:
     )
 
 
+def _scale_gate() -> SuiteGate:
+    from repro.core.orientation._kernels import stable_orientation_kernel
+    from repro.workloads import SCALE_TIER_PARAMS, scale_layered_orientation
+
+    # The 100k tier: large enough that a lost frontier batching or a
+    # reintroduced O(n)-per-phase scan moves the median far beyond any
+    # runner-speed wobble, small enough to re-time in CI.  No dict
+    # reference exists at this size (avoiding it is the suite's point),
+    # so this is a budget-only gate; the structural frontier guarantees
+    # are enforced separately by tests/orientation/test_frontier_batching.
+    def prepare() -> dict:
+        graph = scale_layered_orientation(**SCALE_TIER_PARAMS["100k"])
+        stable_orientation_kernel(graph, seed=0)  # warm derived caches
+        return {"graph": graph}
+
+    def check_agreement(ctx: dict) -> Optional[str]:
+        heads, load, *_ = stable_orientation_kernel(ctx["graph"], seed=0)
+        if any(h < 0 for h in heads):
+            return "scale orientation left unoriented edges at the 100k tier"
+        if max(load) > ctx["graph"].max_degree():
+            return "scale orientation exceeded the max-degree load bound"
+        return None
+
+    return SuiteGate(
+        scenario="test_scale_orientation[100k]",
+        prepare=prepare,
+        run=lambda ctx: stable_orientation_kernel(ctx["graph"], seed=0),
+        check_agreement=check_agreement,
+    )
+
+
 def _assignment_gate() -> SuiteGate:
     from repro.core.assignment import run_stable_assignment
     from repro.workloads import datacenter_assignment
@@ -284,6 +316,7 @@ GATES: Dict[str, Callable[[], SuiteGate]] = {
     "orientation": _orientation_gate,
     "compact_core": _compact_core_gate,
     "churn": _churn_gate,
+    "scale": _scale_gate,
     "assignment": _assignment_gate,
     "semi_matching": _semi_matching_gate,
     "lower_bounds": _lower_bounds_gate,

@@ -231,10 +231,13 @@ def stable_orientation_kernel(
     eu = list(graph.edge_u)
     ev = list(graph.edge_v)
     ids = graph.node_ids
+    indptr = graph.indptr
+    slot_edge = graph.slot_edge
 
+    delta = graph.max_degree()
     if max_phases is None:
         # Lemma 5.5: the explicit O(Δ) phase budget of the reference path.
-        max_phases = 4 * (graph.max_degree() + 1) + 4
+        max_phases = 4 * (delta + 1) + 4
     if m and tie_break not in TIE_BREAK_POLICIES:
         # The reference raises when the first phase builds its factory; an
         # edgeless problem never runs a phase and never validates.
@@ -254,6 +257,28 @@ def stable_orientation_kernel(
     # this phase's game); allocated once and reset after every phase.
     sub = [-1] * n
 
+    # Frontier state, maintained incrementally so a phase never rescans
+    # all n nodes or all m edges (a node's badness contribution can only
+    # change when one of its endpoint loads does):
+    #
+    # * ``pending`` — the unoriented edge ids, ascending (the reference
+    #   scan order), shrunk by exactly the accepted edges each phase;
+    # * ``cand`` — the oriented edges of badness exactly 1 (the next
+    #   phase's game edges); ``over`` — badness > 1 with its value
+    #   (empty in any valid run, Lemma 5.4);
+    # * ``hist``/``cur_max`` — a load histogram (loads are bounded by Δ)
+    #   so the per-phase game height is O(1) instead of ``max(load)``;
+    # * ``touched``/``touched_nodes`` — the nodes whose load changed this
+    #   phase; only their incident edges get their badness re-examined.
+    pending = list(range(m))
+    cand: set = set()
+    over: Dict[int, int] = {}
+    hist = [0] * (delta + 2)
+    if n:
+        hist[0] = n
+    cur_max = 0
+    touched = bytearray(n)
+
     while oriented_count < m:
         phases += 1
         if phases > max_phases:
@@ -263,42 +288,42 @@ def stable_orientation_kernel(
             )
 
         with obs.span("orientation.phase", phase=phases) as psp:
-            # One fused edge scan per phase.  Steps 1 + 2: every unoriented
-            # edge proposes to its lower-load endpoint (canonical endpoint on
-            # ties) and every proposed-to node accepts its smallest-repr edge
-            # — edge indices are repr-ordered, so the first proposal a node
-            # sees in an ascending scan is the one the reference accepts.
+            # Steps 1 + 2: every unoriented edge proposes to its lower-load
+            # endpoint (canonical endpoint on ties) and every proposed-to
+            # node accepts its smallest-repr edge — ``pending`` is kept
+            # ascending, so the first proposal a node sees is the one the
+            # reference's full ascending edge scan would accept.
+            accepted_edge: Dict[int, int] = {}
+            proposals = len(pending)
+            for e in pending:
+                u = eu[e]
+                v = ev[e]
+                target = v if load[v] < load[u] else u
+                if target not in accepted_edge:
+                    accepted_edge[target] = e
+
             # Step 3 input: the oriented edges of badness exactly 1 become
             # the phase's token dropping game edges (tail = child, head =
-            # parent, Lemma 5.2), with tokens on the accepting nodes.  The
-            # game is restricted to nodes incident to a game edge: every
-            # other node (tokenless, or a token holder with no game
-            # neighbours) halts at round 0 with no LEAVE fan-out in the
-            # reference execution, so dropping it changes neither the
-            # surviving run nor its rounds.
-            accepted_edge: Dict[int, int] = {}
-            proposals = 0
+            # parent, Lemma 5.2), with tokens on the accepting nodes.
+            # ``cand`` holds exactly those edges — maintained at the end of
+            # the previous phase from the nodes whose load changed, not by
+            # rescanning all m edges.  The game is restricted to nodes
+            # incident to a game edge: every other node (tokenless, or a
+            # token holder with no game neighbours) halts at round 0 with
+            # no LEAVE fan-out in the reference execution, so dropping it
+            # changes neither the surviving run nor its rounds.
             game_edges: List[Tuple[int, int, int]] = []
             participants: List[int] = []
-            for e in range(m):
+            for e in sorted(cand):
                 h = heads[e]
-                if h < 0:
-                    proposals += 1
-                    u = eu[e]
-                    v = ev[e]
-                    target = v if load[v] < load[u] else u
-                    if target not in accepted_edge:
-                        accepted_edge[target] = e
-                    continue
                 t = eu[e] if h == ev[e] else ev[e]
-                if load[h] - load[t] == 1:
-                    game_edges.append((t, h, e))
-                    if sub[t] < 0:
-                        sub[t] = 0
-                        participants.append(t)
-                    if sub[h] < 0:
-                        sub[h] = 0
-                        participants.append(h)
+                game_edges.append((t, h, e))
+                if sub[t] < 0:
+                    sub[t] = 0
+                    participants.append(t)
+                if sub[h] < 0:
+                    sub[h] = 0
+                    participants.append(h)
             participants.sort()
             for i, g in enumerate(participants):
                 sub[g] = i
@@ -322,7 +347,9 @@ def stable_orientation_kernel(
                 )
                 if degree > game_degree:
                     game_degree = degree
-            height = max(load) if load else 0
+            # Phase-start max load, from the histogram (O(1) instead of an
+            # O(n) ``max(load)`` pass; loads are bounded by Δ).
+            height = cur_max
             # The reference budget: three LOCAL rounds per game round of the
             # Theorem 4.1 bound computed from this instance's height/degree.
             max_rounds = 3 * (8 * (height + 1) * (game_degree + 1) ** 2 + 8)
@@ -360,31 +387,86 @@ def stable_orientation_kernel(
             # back to its oriented edge through the payload table; flipping is
             # order-independent because every edge is consumed at most once).
             edges_flipped = 0
+            touched_nodes: List[int] = []
             for ge in range(game.num_edges):
                 if consumed[ge]:
                     e = payloads[ge]
                     h = heads[e]
                     t = eu[e] if h == ev[e] else ev[e]
                     heads[e] = t
-                    load[h] -= 1
-                    load[t] += 1
+                    lh = load[h]
+                    load[h] = lh - 1
+                    hist[lh] -= 1
+                    hist[lh - 1] += 1
+                    lt = load[t]
+                    load[t] = lt + 1
+                    hist[lt] -= 1
+                    hist[lt + 1] += 1
+                    if lt >= cur_max:
+                        cur_max = lt + 1
+                    if not touched[h]:
+                        touched[h] = 1
+                        touched_nodes.append(h)
+                    if not touched[t]:
+                        touched[t] = 1
+                        touched_nodes.append(t)
                     edges_flipped += 1
 
             # Step 5: orient the accepted (previously unoriented) edges.
             for node, e in accepted_edge.items():
                 heads[e] = node
-                load[node] += 1
+                ln = load[node]
+                load[node] = ln + 1
+                hist[ln] -= 1
+                hist[ln + 1] += 1
+                if ln >= cur_max:
+                    cur_max = ln + 1
+                if not touched[node]:
+                    touched[node] = 1
+                    touched_nodes.append(node)
             oriented_count += len(accepted_edge)
+            if len(accepted_edge) < len(pending):
+                pending = [e for e in pending if heads[e] < 0]
+            else:
+                pending = []
+            while cur_max and not hist[cur_max]:
+                cur_max -= 1
 
-            max_badness = 0
-            for e in range(m):
-                h = heads[e]
-                if h < 0:
-                    continue
-                t = eu[e] if h == ev[e] else ev[e]
-                badness = load[h] - load[t]
-                if badness > max_badness:
-                    max_badness = badness
+            # End-of-phase badness maintenance: an edge's badness can only
+            # have changed if one of its endpoint loads did, so refreshing
+            # the edges incident to the touched nodes (which include every
+            # newly oriented edge's head) is exhaustive.  The reference's
+            # full-scan ``max_badness`` is therefore 1 iff ``cand`` is
+            # non-empty (badness > 1 lands in ``over``, which any valid
+            # run keeps empty).
+            if obs.enabled():
+                obs.add("orientation.frontier.game_edges", len(game_edges))
+                obs.add("orientation.frontier.touched_nodes", len(touched_nodes))
+                obs.add(
+                    "orientation.frontier.refreshed_slots",
+                    sum(indptr[x + 1] - indptr[x] for x in touched_nodes),
+                )
+            for x in touched_nodes:
+                touched[x] = 0
+                for s in range(indptr[x], indptr[x + 1]):
+                    e = slot_edge[s]
+                    h = heads[e]
+                    if h < 0:
+                        continue
+                    t = eu[e] if h == ev[e] else ev[e]
+                    badness = load[h] - load[t]
+                    if badness == 1:
+                        cand.add(e)
+                        if over:
+                            over.pop(e, None)
+                    else:
+                        cand.discard(e)
+                        if badness > 1:
+                            over[e] = badness
+                        elif over:
+                            over.pop(e, None)
+
+            max_badness = max(over.values()) if over else (1 if cand else 0)
             if check_invariants and max_badness > 1:
                 raise AlgorithmError(
                     f"phase {phases} ended with max badness {max_badness} > 1; "

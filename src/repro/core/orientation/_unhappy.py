@@ -181,8 +181,13 @@ def run_repair_loop(
     load = tracker.load
     # Hoisted: the loop runs per repair iteration with O(unhappy) work
     # inside; three disabled-metric calls per iteration would still be
-    # three wasted function calls each time around.
+    # three wasted function calls each time around.  The conflict bitmap
+    # is likewise allocated once and wiped per iteration by clearing only
+    # the entries the selection marked — a fresh ``bytearray(num_nodes)``
+    # per iteration is an O(n) pass that dwarfs the O(unhappy · Δ) real
+    # work once the unhappy set is a small frontier of a large graph.
     traced = obs.enabled()
+    used = bytearray(num_nodes)
     while tracker.unhappy:
         if stats.iterations >= max_iterations:
             raise RuntimeError(
@@ -194,7 +199,6 @@ def run_repair_loop(
         # flips.
         batch = tracker.sorted_edges()
         rng.shuffle(batch)
-        used = bytearray(num_nodes)
         selected: List[int] = []
         for e in batch:
             t = tails[e]
@@ -204,6 +208,10 @@ def run_repair_loop(
             selected.append(e)
             used[t] = 1
             used[h] = 1
+
+        for e in selected:
+            used[tails[e]] = 0
+            used[heads[e]] = 0
 
         for e in selected:
             t = tails[e]

@@ -48,7 +48,8 @@ register them via ``AlgorithmFactory(..., compact_kernel=...)`` and
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from array import array
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.token_dropping.game import (
     LOCAL_HAS_TOKEN,
@@ -247,6 +248,107 @@ def game_from_arrays(
         chi_node[slot] = c
         chi_edge[slot] = ge
         cursor[p] = slot + 1
+    return game, payloads
+
+
+def game_from_edge_stream(
+    num_nodes: int,
+    edges: Iterable[Tuple[int, int]],
+    *,
+    has_token=None,
+    levels=None,
+) -> Tuple[_DenseGame, array]:
+    """Build a dense game from a streamed ``(child, parent)`` iterable.
+
+    The million-node counterpart of :func:`game_from_arrays`: the stream
+    is consumed once into two flat ``array('q')`` buffers and
+    counting-sorted into the same ascending ``(child, parent)`` game-edge
+    order — the resulting CSR structures are element-for-element equal to
+    what :func:`game_from_arrays` produces on the materialised edge list
+    (the cross-validation tests assert this), but no per-edge tuples or
+    Python-list sort keys ever exist.  All adjacency arrays come out as
+    ``array('q')`` (8 bytes per entry) rather than int-object lists,
+    which is what makes the 10^6–10^7 tiers fit in memory.
+
+    ``has_token`` / ``levels`` are optional dense-indexed per-node
+    inputs; callers that must draw tokens *after* consuming a shared-RNG
+    edge stream (see ``random_token_dropping(compact=True)``) leave them
+    ``None`` and fill ``game.has_token`` / ``game.level`` in place.
+
+    Returns ``(game, payloads)`` where ``payloads[game_edge]`` is the
+    stream position of that edge, mirroring :func:`game_from_arrays`'s
+    payload echo.  Duplicate edges are not detected (the generating
+    streams are duplicate-free by construction).
+    """
+    game = _DenseGame(num_nodes)
+    if has_token is not None:
+        for i in range(num_nodes):
+            if has_token[i]:
+                game.has_token[i] = 1
+    if levels is not None:
+        for i in range(num_nodes):
+            level = levels[i]
+            if level:
+                game.level[i] = level
+
+    child_of = array("q")
+    parent_of = array("q")
+    for c, p in edges:
+        child_of.append(c)
+        parent_of.append(p)
+    m = len(child_of)
+    game.num_edges = m
+
+    # LSD radix sort of the stream positions: a stable counting pass by
+    # parent, then by child, yields ascending (child, parent) — the game
+    # edge-id order game_from_arrays gets from sorting triples.
+    zeros = bytes(8 * (num_nodes + 1))
+    cnt_p = array("q", zeros)
+    for p in parent_of:
+        cnt_p[p + 1] += 1
+    for i in range(num_nodes):
+        cnt_p[i + 1] += cnt_p[i]
+    by_parent = array("q", bytes(8 * m))
+    cursor = array("q", cnt_p[:num_nodes])
+    for e in range(m):
+        p = parent_of[e]
+        by_parent[cursor[p]] = e
+        cursor[p] += 1
+
+    cnt_c = array("q", zeros)
+    for c in child_of:
+        cnt_c[c + 1] += 1
+    for i in range(num_nodes):
+        cnt_c[i + 1] += cnt_c[i]
+    order = array("q", bytes(8 * m))
+    cursor = array("q", cnt_c[:num_nodes])
+    for e in by_parent:
+        c = child_of[e]
+        order[cursor[c]] = e
+        cursor[c] += 1
+    del by_parent
+
+    # cnt_c / cnt_p are exactly the parent/child CSR offsets.
+    game.par_ptr = cnt_c
+    game.chi_ptr = cnt_p
+    par_node = array("q", bytes(8 * m))
+    chi_node = array("q", bytes(8 * m))
+    chi_edge = array("q", bytes(8 * m))
+    payloads = array("q", bytes(8 * m))
+    cursor = array("q", cnt_p[:num_nodes])
+    for ge in range(m):
+        e = order[ge]
+        p = parent_of[e]
+        par_node[ge] = p
+        payloads[ge] = e
+        slot = cursor[p]
+        chi_node[slot] = child_of[e]
+        chi_edge[slot] = ge
+        cursor[p] = slot + 1
+    game.par_node = par_node
+    game.par_edge = array("q", range(m))
+    game.chi_node = chi_node
+    game.chi_edge = chi_edge
     return game, payloads
 
 

@@ -19,8 +19,9 @@ layered DAGs exercising the Theorem 4.1 bound.
 from __future__ import annotations
 
 import itertools
+import math
 import random
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -88,6 +89,43 @@ def caterpillar_graph(spine: int, legs_per_node: int) -> nx.Graph:
     return graph
 
 
+def bounded_degree_gnp_edges(
+    n: int, p: float, max_degree: int, seed: Optional[int | random.Random] = None
+) -> Iterator[Tuple[int, int]]:
+    """The edge stream of :func:`bounded_degree_gnp`, without the graph.
+
+    Consumes the RNG exactly like :func:`bounded_degree_gnp` (same
+    shuffled candidate order, one draw per candidate, same greedy degree
+    cap), so the yielded edges are the edge set of the seeded networkx
+    instance — but nothing larger than a flat degree counter is ever
+    materialised.  Streaming consumers
+    (:meth:`~repro.graphs.compact.CompactGraph.from_edge_stream`) build
+    the CSR instance straight from this iterator.
+    """
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must lie in [0, 1], got {p}")
+    if max_degree < 0:
+        raise ValueError(f"max_degree must be non-negative, got {max_degree}")
+    rng = _make_rng(seed)
+
+    def edge_stream() -> Iterator[Tuple[int, int]]:
+        degree = [0] * n
+        candidates = list(itertools.combinations(range(n), 2))
+        rng.shuffle(candidates)
+        for u, v in candidates:
+            if rng.random() >= p:
+                continue
+            if degree[u] >= max_degree or degree[v] >= max_degree:
+                continue
+            degree[u] += 1
+            degree[v] += 1
+            yield (u, v)
+
+    return edge_stream()
+
+
 def bounded_degree_gnp(
     n: int, p: float, max_degree: int, seed: Optional[int | random.Random] = None
 ) -> nx.Graph:
@@ -97,23 +135,9 @@ def bounded_degree_gnp(
     ``max_degree`` are discarded.  The result is a "typical" bounded-degree
     graph used as a realistic (non-worst-case) orientation workload.
     """
-    if n < 1:
-        raise ValueError(f"n must be positive, got {n}")
-    if not 0.0 <= p <= 1.0:
-        raise ValueError(f"p must lie in [0, 1], got {p}")
-    if max_degree < 0:
-        raise ValueError(f"max_degree must be non-negative, got {max_degree}")
-    rng = _make_rng(seed)
     graph = nx.Graph()
     graph.add_nodes_from(range(n))
-    candidates = list(itertools.combinations(range(n), 2))
-    rng.shuffle(candidates)
-    for u, v in candidates:
-        if rng.random() >= p:
-            continue
-        if graph.degree(u) >= max_degree or graph.degree(v) >= max_degree:
-            continue
-        graph.add_edge(u, v)
+    graph.add_edges_from(bounded_degree_gnp_edges(n, p, max_degree, seed=seed))
     return graph
 
 
@@ -366,6 +390,62 @@ def random_bipartite_customer_server(
 # ----------------------------------------------------------------------
 # Layered DAGs for the token dropping game
 # ----------------------------------------------------------------------
+def _validate_layered_params(
+    num_levels: int, width: int, edge_probability: float, max_degree: Optional[int]
+) -> None:
+    if num_levels < 1:
+        raise ValueError(f"num_levels must be positive, got {num_levels}")
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError(f"edge_probability must lie in [0, 1], got {edge_probability}")
+    if max_degree is not None and max_degree < 0:
+        raise ValueError(f"max_degree must be non-negative, got {max_degree}")
+
+
+def layered_dag_edges(
+    num_levels: int,
+    width: int,
+    edge_probability: float,
+    seed: Optional[int | random.Random] = None,
+    max_degree: Optional[int] = None,
+) -> Iterator[Tuple[NodeId, NodeId]]:
+    """The ``(child, parent)`` edge stream of :func:`random_layered_graph`.
+
+    Yields exactly the edges (in exactly the order) the seeded
+    :func:`random_layered_graph` call would record — same shuffled
+    candidate list, one RNG draw per candidate, same greedy degree cap —
+    without building the ``LayeredGraph`` containers.  When a shared
+    ``random.Random`` is passed as ``seed``, consume the stream fully
+    before drawing from the RNG again: the generator draws lazily.
+    """
+    _validate_layered_params(num_levels, width, edge_probability, max_degree)
+    rng = _make_rng(seed)
+
+    def edge_stream() -> Iterator[Tuple[NodeId, NodeId]]:
+        degree: Dict[NodeId, int] = {}
+        candidates = [
+            ((level, i), (level + 1, j))
+            for level in range(num_levels - 1)
+            for i in range(width)
+            for j in range(width)
+        ]
+        rng.shuffle(candidates)
+        for child, parent in candidates:
+            if rng.random() >= edge_probability:
+                continue
+            if max_degree is not None and (
+                degree.get(child, 0) >= max_degree
+                or degree.get(parent, 0) >= max_degree
+            ):
+                continue
+            degree[child] = degree.get(child, 0) + 1
+            degree[parent] = degree.get(parent, 0) + 1
+            yield (child, parent)
+
+    return edge_stream()
+
+
 def random_layered_graph(
     num_levels: int,
     width: int,
@@ -383,41 +463,79 @@ def random_layered_graph(
     Node identifiers are ``(level, index)`` tuples, which keeps levels
     recoverable from the identifier in examples and traces.
     """
-    if num_levels < 1:
-        raise ValueError(f"num_levels must be positive, got {num_levels}")
-    if width < 1:
-        raise ValueError(f"width must be positive, got {width}")
-    if not 0.0 <= edge_probability <= 1.0:
-        raise ValueError(f"edge_probability must lie in [0, 1], got {edge_probability}")
-    if max_degree is not None and max_degree < 0:
-        raise ValueError(f"max_degree must be non-negative, got {max_degree}")
-    rng = _make_rng(seed)
-
     levels: Dict[NodeId, int] = {}
     for level in range(num_levels):
         for index in range(width):
             levels[(level, index)] = level
-
-    degree: Dict[NodeId, int] = {node: 0 for node in levels}
-    edges: List[Tuple[NodeId, NodeId]] = []
-    candidates = [
-        ((level, i), (level + 1, j))
-        for level in range(num_levels - 1)
-        for i in range(width)
-        for j in range(width)
-    ]
-    rng.shuffle(candidates)
-    for child, parent in candidates:
-        if rng.random() >= edge_probability:
-            continue
-        if max_degree is not None and (
-            degree[child] >= max_degree or degree[parent] >= max_degree
-        ):
-            continue
-        edges.append((child, parent))
-        degree[child] += 1
-        degree[parent] += 1
+    edges = list(
+        layered_dag_edges(
+            num_levels, width, edge_probability, seed=seed, max_degree=max_degree
+        )
+    )
     return LayeredGraph(levels=levels, edges=edges)
+
+
+def layered_dag_edge_stream(
+    num_levels: int,
+    width: int,
+    edge_probability: float,
+    *,
+    seed: Optional[int | random.Random] = None,
+) -> Iterator[Tuple[int, int]]:
+    """A million-node-scale layered DAG as a lazy ``(child, parent)`` stream.
+
+    The scale counterpart of :func:`random_layered_graph` for instances
+    where even the O(L·w²) candidate list is unaffordable: candidates are
+    *skipped over* geometrically (one RNG draw per **sampled** edge, not
+    per candidate), so generating the stream costs O(m) time and O(1)
+    memory for any ``num_levels × width``.  Node identifiers are dense
+    ints ``level * width + index`` — at 10^6–10^7 nodes, tuple ids would
+    triple the interning cost for no informational gain (the level is
+    recoverable as ``node // width``).
+
+    This is a **different instance family** from
+    :func:`random_layered_graph` (the RNG discipline differs by design);
+    it is cross-validated against the dict reference by feeding the *same
+    stream* to both the streaming and the dict-path builders at small n.
+
+    Each potential edge between adjacent levels is included independently
+    with probability ``edge_probability`` via inverse-transform sampling
+    of the geometric gap between successes.  No degree cap: the expected
+    degree is controlled by ``edge_probability`` directly (mean total
+    degree ≈ ``2 · width · edge_probability`` away from the boundary
+    levels).
+    """
+    _validate_layered_params(num_levels, width, edge_probability, None)
+    rng = _make_rng(seed)
+
+    def edge_stream() -> Iterator[Tuple[int, int]]:
+        if edge_probability <= 0.0:
+            return
+        block = width * width
+        exhaustive = edge_probability >= 1.0
+        log_skip = 0.0 if exhaustive else math.log1p(-edge_probability)
+        for level in range(num_levels - 1):
+            child_base = level * width
+            parent_base = child_base + width
+            if exhaustive:
+                for i in range(width):
+                    child = child_base + i
+                    for j in range(width):
+                        yield (child, parent_base + j)
+                continue
+            # Jump between successes of the per-candidate Bernoulli(p)
+            # process: the gap is Geometric(p), sampled by inverse
+            # transform.  1 - random() lies in (0, 1], keeping the log
+            # finite.
+            pos = -1
+            while True:
+                gap = int(math.log(1.0 - rng.random()) / log_skip)
+                pos += gap + 1
+                if pos >= block:
+                    break
+                yield (child_base + pos // width, parent_base + pos % width)
+
+    return edge_stream()
 
 
 def layered_from_levels(
