@@ -25,6 +25,21 @@ and reference backends on its instance and fails on any disagreement, so
 CI keeps a standing compact-vs-reference agreement check even when every
 timing is fine.
 
+Suites whose committed rows carry a ``peak_mb`` column (the tracemalloc
+peak the benchmark conftest records) can opt into a memory gate
+(``gate_peak_mb=True``): one extra run is re-measured under tracemalloc
+and must stay within ``--max-mem-factor`` of the committed peak (with an
+absolute ``--min-mem-budget`` floor so small scenarios cannot flake on
+allocator noise).  Python-heap peaks are machine-stable, so the memory
+budget is much tighter in practice than the timing one.
+
+The ``scale_parallel`` gate compares the shared-memory parallel
+orientation backend against the serial kernel *on the same machine* and
+requires a ≥1.5x ratio at 4 workers.  Parallel speedup is meaningless
+without cores, so gates may declare ``min_cpus``: below that count the
+correctness (agreement) check still runs but the timing comparison is
+skipped with a printed note instead of producing a bogus failure.
+
 Usage (CI runs exactly this):
 
     PYTHONPATH=src python scripts/check_bench_regression.py --max-factor 3
@@ -36,9 +51,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import statistics
 import sys
 import time
+import tracemalloc
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
@@ -68,6 +85,21 @@ class SuiteGate:
     #: beats per-update recompute by a wide margin, so it demands 10x
     #: where ordinary kernel gates accept the CLI default.
     min_ratio: Optional[float] = None
+    #: Which ``BENCH_<name>.json`` holds the committed row; defaults to
+    #: the registry key.  The ``scale_parallel`` gate reads the scale
+    #: suite's file — its scenarios live in ``bench_scale.py``.
+    bench_suite: Optional[str] = None
+    #: What the ratio's denominator path is called in output ("dict" for
+    #: the reference-path gates, "serial" for the parallel gate).
+    reference_label: str = "dict"
+    #: Minimum ``os.cpu_count()`` for the timing comparison to be
+    #: meaningful.  Below it the agreement check still runs; timing,
+    #: ratio, and memory checks are skipped with a note.
+    min_cpus: int = 0
+    #: Re-measure one run under tracemalloc and gate it against the
+    #: committed ``extra_info.peak_mb`` (times ``--max-mem-factor``,
+    #: floored at ``--min-mem-budget``).
+    gate_peak_mb: bool = False
 
 
 # ----------------------------------------------------------------------
@@ -254,6 +286,51 @@ def _scale_gate() -> SuiteGate:
         prepare=prepare,
         run=lambda ctx: stable_orientation_kernel(ctx["graph"], seed=0),
         check_agreement=check_agreement,
+        gate_peak_mb=True,
+    )
+
+
+def _scale_parallel_gate() -> SuiteGate:
+    from repro.core.orientation._kernels import stable_orientation_kernel
+    from repro.parallel import parallel_stable_orientation_kernel
+    from repro.workloads import SCALE_TIER_PARAMS, scale_layered_orientation
+
+    # The committed scenario is the workers=4 row of the bench_scale.py
+    # sweep; the same-machine reference is the serial kernel, so the
+    # ratio floor (1.5x, overriding the CLI default) fails when the
+    # worker pool stops pulling its weight — provided the runner has the
+    # cores to make the comparison meaningful (min_cpus below).  The
+    # agreement check runs regardless of core count: bit-for-bit equality
+    # against the serial kernel is the backend's contract everywhere.
+    def prepare() -> dict:
+        graph = scale_layered_orientation(**SCALE_TIER_PARAMS["100k"])
+        stable_orientation_kernel(graph, seed=0)  # warm derived caches
+        return {"graph": graph}
+
+    def check_agreement(ctx: dict) -> Optional[str]:
+        serial = stable_orientation_kernel(ctx["graph"], seed=0)
+        par = parallel_stable_orientation_kernel(
+            ctx["graph"], seed=0, workers=2, min_edges=0
+        )
+        if serial != par:
+            return (
+                "parallel and serial stable-orientation kernels disagree "
+                "on the 100k scale instance"
+            )
+        return None
+
+    return SuiteGate(
+        scenario="test_scale_orientation_workers[4]",
+        prepare=prepare,
+        run=lambda ctx: parallel_stable_orientation_kernel(
+            ctx["graph"], seed=0, workers=4
+        ),
+        reference=lambda ctx: stable_orientation_kernel(ctx["graph"], seed=0),
+        check_agreement=check_agreement,
+        min_ratio=1.5,
+        bench_suite="scale",
+        reference_label="serial",
+        min_cpus=4,
     )
 
 
@@ -317,6 +394,7 @@ GATES: Dict[str, Callable[[], SuiteGate]] = {
     "compact_core": _compact_core_gate,
     "churn": _churn_gate,
     "scale": _scale_gate,
+    "scale_parallel": _scale_parallel_gate,
     "assignment": _assignment_gate,
     "semi_matching": _semi_matching_gate,
     "lower_bounds": _lower_bounds_gate,
@@ -331,6 +409,21 @@ def timed_median(fn: Callable[[], object], rounds: int) -> float:
         fn()
         times.append(time.perf_counter() - start)
     return statistics.median(times)
+
+
+def measured_peak_mb(fn: Callable[[], object]) -> float:
+    """tracemalloc peak (MB) of one run — the benchmark conftest's metric."""
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not already_tracing:
+            tracemalloc.stop()
+    return peak / (1024 * 1024)
 
 
 def timing_rounds(
@@ -365,6 +458,17 @@ def build_parser() -> argparse.ArgumentParser:
         "compact-backed suites (default 3)",
     )
     parser.add_argument(
+        "--max-mem-factor", type=float, default=3.0,
+        help="allowed multiple of the committed peak_mb for memory-gated "
+        "suites (default 3; tracemalloc peaks are machine-stable, the "
+        "slack covers interpreter-version drift)",
+    )
+    parser.add_argument(
+        "--min-mem-budget", type=float, default=64.0,
+        help="absolute floor in MB for the memory budget, so small "
+        "scenarios cannot flake on allocator noise (default 64)",
+    )
+    parser.add_argument(
         "--min-budget", type=float, default=0.05,
         help="absolute floor in seconds for the per-scenario budget, so "
         "millisecond-scale medians cannot flake on a slow runner "
@@ -385,28 +489,40 @@ def build_parser() -> argparse.ArgumentParser:
 
 def check_suite(suite: str, gate: SuiteGate, args: argparse.Namespace) -> int:
     """Run one suite's gate; returns 0 (ok), 1 (failed), or 2 (unusable)."""
-    bench_file = args.bench_dir / f"BENCH_{suite}.json"
+    bench_name = gate.bench_suite or suite
+    bench_file = args.bench_dir / f"BENCH_{bench_name}.json"
     try:
         payload = json.loads(bench_file.read_text())
-        committed = payload["scenarios"][gate.scenario]["median_seconds"]
+        row = payload["scenarios"][gate.scenario]
+        committed = row["median_seconds"]
         budget = committed * args.max_factor
     except (OSError, ValueError, KeyError, TypeError):
         print(
             f"ERROR: no committed median for {gate.scenario!r} in "
             f"{bench_file}; regenerate it with: pytest "
-            f"benchmarks/bench_{suite}.py --benchmark-only",
+            f"benchmarks/bench_{bench_name}.py --benchmark-only",
             file=sys.stderr,
         )
         return 2
 
     ctx = gate.prepare()
 
-    # Agreement first: a fast-but-wrong kernel must fail before any timing.
+    # Agreement first: a fast-but-wrong kernel must fail before any timing
+    # (and regardless of core count — correctness needs no parallelism).
     if gate.check_agreement is not None:
         error = gate.check_agreement(ctx)
         if error is not None:
             print(f"ERROR: [{suite}] {error}", file=sys.stderr)
             return 1
+
+    cpus = os.cpu_count() or 1
+    if gate.min_cpus and cpus < gate.min_cpus:
+        print(
+            f"[{suite}] {gate.scenario}: SKIPPED timing — {cpus} CPU(s) "
+            f"available, gate needs {gate.min_cpus} for a meaningful "
+            "comparison (agreement check passed)"
+        )
+        return 0
 
     rounds = timing_rounds(committed, args.rounds, args.min_budget)
     median = timed_median(lambda: gate.run(ctx), rounds)
@@ -420,15 +536,28 @@ def check_suite(suite: str, gate: SuiteGate, args: argparse.Namespace) -> int:
     ratio = None
     min_ratio = gate.min_ratio if gate.min_ratio is not None else args.min_ratio
     if gate.reference is not None:
-        dict_median = timed_median(lambda: gate.reference(ctx), rounds)
-        ratio = dict_median / median if median else float("inf")
+        ref_median = timed_median(lambda: gate.reference(ctx), rounds)
+        ratio = ref_median / median if median else float("inf")
         line += (
-            f"; dict median {dict_median:.4f}s, ratio {ratio:.1f}x "
-            f"(floor {min_ratio:.1f}x)"
+            f"; {gate.reference_label} median {ref_median:.4f}s, "
+            f"ratio {ratio:.1f}x (floor {min_ratio:.1f}x)"
         )
 
-    failed = median > effective_budget or (
-        ratio is not None and ratio < min_ratio
+    peak_mb = None
+    mem_budget = None
+    committed_peak = (row.get("extra_info") or {}).get("peak_mb")
+    if gate.gate_peak_mb and isinstance(committed_peak, (int, float)):
+        peak_mb = measured_peak_mb(lambda: gate.run(ctx))
+        mem_budget = max(committed_peak * args.max_mem_factor, args.min_mem_budget)
+        line += (
+            f"; peak {peak_mb:.1f}MB, committed {committed_peak:.1f}MB, "
+            f"budget {mem_budget:.1f}MB"
+        )
+
+    failed = (
+        median > effective_budget
+        or (ratio is not None and ratio < min_ratio)
+        or (peak_mb is not None and peak_mb > mem_budget)
     )
     print(line + (" — FAILED" if failed else " — OK"))
     if median > effective_budget:
@@ -439,10 +568,18 @@ def check_suite(suite: str, gate: SuiteGate, args: argparse.Namespace) -> int:
         )
     if ratio is not None and ratio < min_ratio:
         print(
-            f"ERROR: [{suite}] compact path is only {ratio:.1f}x faster "
-            f"than the reference on this machine (floor "
+            f"ERROR: [{suite}] gated path is only {ratio:.1f}x faster "
+            f"than the {gate.reference_label} path on this machine (floor "
             f"{min_ratio:.1f}x) — likely a silent fall-back or "
             "kernel pessimisation",
+            file=sys.stderr,
+        )
+    if peak_mb is not None and peak_mb > mem_budget:
+        print(
+            f"ERROR: [{suite}] {gate.scenario} peak memory {peak_mb:.1f}MB "
+            f"exceeds the committed-peak budget {mem_budget:.1f}MB "
+            f"({args.max_mem_factor:.1f}x of {committed_peak:.1f}MB, floor "
+            f"{args.min_mem_budget:.0f}MB) — a memory regression",
             file=sys.stderr,
         )
     return 1 if failed else 0

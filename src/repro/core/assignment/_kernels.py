@@ -17,9 +17,122 @@ touch only flat integer arrays: no hashing, no frozenset iteration, no
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
+from repro.core.token_dropping.hypergraph_game import (
+    HypergraphRoundLimitExceeded,
+)
 from repro.graphs.compact import CompactBipartite
+
+
+def hypergraph_phase_game_kernel(
+    *,
+    indptr: Sequence[int],
+    slot_edge: Sequence[int],
+    choice: Sequence[int],
+    live: bytearray,
+    occupied: bytearray,
+    game_vertices: Sequence[int],
+    lo: Sequence[int],
+    hi: Sequence[int],
+    pair_rank: Sequence[int],
+    tie_break: str,
+    rng: random.Random,
+    max_game_rounds: int,
+) -> Tuple[int, List[Tuple[int, int]]]:
+    """One assignment-phase rank-2 hypergraph proposal game on int arrays.
+
+    The Theorem 7.1 proposal strategy shared by every assignment-style
+    phase driver (:func:`~repro.core.orientation._kernels.
+    bounded_orientation_kernel` embeds one instance per phase): unoccupied
+    vertices propose to an occupied head over a live hyperedge, every
+    proposed-to head passes its token to one proposer, with the
+    reference's ``repr`` tie-breaks replayed through the precomputed
+    ``(vertex, customer)`` pair ranks.
+
+    The caller owns the phase state: ``live[e]`` flags the phase's game
+    hyperedges (cleared here as they are consumed), ``occupied`` flags the
+    token holders (mutated in place by every pass), ``choice[e]`` is the
+    current head of hyperedge ``e``, and ``game_vertices`` is the sorted
+    set of vertices incident to a live hyperedge — the only vertices
+    scanned, so each round costs the frontier's CSR slots, never O(n).
+    The per-round scan work is exported as the
+    ``orientation.frontier.scanned_slots`` obs counter (with
+    ``orientation.frontier.game_vertices`` for the instance size).
+
+    Returns ``(rounds, passes)`` where ``passes`` lists ``(hyperedge,
+    new_head)`` in consumption order.
+    """
+    rounds = 0
+    passes: List[Tuple[int, int]] = []
+    counting = obs.enabled()
+    scanned_slots = 0
+    while True:
+        proposals: Dict[int, List[Tuple[int, int]]] = {}
+        for v in game_vertices:
+            if occupied[v]:
+                continue
+            if counting:
+                scanned_slots += indptr[v + 1] - indptr[v]
+            options: List[Tuple[int, int]] = []
+            for s in range(indptr[v], indptr[v + 1]):
+                e = slot_edge[s]
+                if not live[e]:
+                    continue
+                h = choice[e]
+                if h == v or not occupied[h]:
+                    continue
+                options.append((h, e))
+            if not options:
+                continue
+
+            def prank(he: Tuple[int, int]) -> int:
+                h, e = he
+                return pair_rank[2 * e] if h == lo[e] else pair_rank[2 * e + 1]
+
+            if tie_break == "min":
+                parent, e = min(options, key=prank)
+            elif tie_break == "max":
+                parent, e = max(options, key=prank)
+            elif tie_break == "random":
+                options.sort(key=prank)
+                parent, e = options[rng.randrange(len(options))]
+            else:
+                raise ValueError(f"unknown tie-break policy {tie_break!r}")
+            proposals.setdefault(parent, []).append((v, e))
+
+        if not proposals:
+            break
+        rounds += 1
+        if rounds > max_game_rounds:
+            raise HypergraphRoundLimitExceeded(
+                f"hypergraph proposal engine exceeded {max_game_rounds} "
+                "game rounds"
+            )
+
+        for parent, requests in proposals.items():
+
+            def crank(ce: Tuple[int, int]) -> int:
+                c, e = ce
+                return pair_rank[2 * e] if c == lo[e] else pair_rank[2 * e + 1]
+
+            if tie_break == "min":
+                child, e = min(requests, key=crank)
+            elif tie_break == "max":
+                child, e = max(requests, key=crank)
+            else:
+                requests.sort(key=crank)
+                child, e = requests[rng.randrange(len(requests))]
+            occupied[parent] = 0
+            occupied[child] = 1
+            live[e] = 0
+            passes.append((e, child))
+
+    if counting:
+        obs.add("orientation.frontier.game_vertices", len(game_vertices))
+        obs.add("orientation.frontier.scanned_slots", scanned_slots)
+    return rounds, passes
 
 
 def greedy_kernel(

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import random
 from operator import itemgetter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
 from repro.graphs.compact import CompactGraph
@@ -183,6 +183,110 @@ def sequential_flip_kernel(
 # ----------------------------------------------------------------------
 # The phase-based stable orientation algorithm (Theorem 5.1)
 # ----------------------------------------------------------------------
+def _solve_phase_game_serial(
+    eu: Sequence[int],
+    ev: Sequence[int],
+    ids: Sequence,
+    sub: List[int],
+    load: Sequence[int],
+    heads: Sequence[int],
+    game_edge_list: Sequence[int],
+    accepted_edge: Dict[int, int],
+    height: int,
+    tie_break: str,
+    seed: int,
+    check_invariants: bool,
+) -> Tuple[List[int], int]:
+    """Build and solve one phase's token dropping game in-process.
+
+    ``game_edge_list`` is the phase's badness-1 edge set in ascending
+    order (the reference scan order); ``sub`` is a caller-owned dense-id
+    -> game-id scratch map of value -1 everywhere, restored before
+    returning.  Returns ``(consumed_edges, communication_rounds)`` where
+    ``consumed_edges`` is the ascending list of graph edges consumed by a
+    token pass — exactly the edges step 4 must flip.
+
+    This is the unit the ``compact-parallel`` backend distributes: the
+    game decomposes into connected components that never exchange
+    messages, so :mod:`repro.parallel` runs one of these per component
+    (inside worker processes over shared-memory arrays) and merges the
+    results; see :func:`repro.parallel.parallel_stable_orientation_kernel`.
+    """
+    from repro.core.token_dropping._kernels import (
+        _node_rngs,
+        game_from_arrays,
+        proposal_game_kernel,
+    )
+    from repro.core.token_dropping.traversal import InvalidSolutionError
+
+    game_edges: List[Tuple[int, int, int]] = []
+    participants: List[int] = []
+    for e in game_edge_list:
+        h = heads[e]
+        t = eu[e] if h == ev[e] else ev[e]
+        game_edges.append((t, h, e))
+        if sub[t] < 0:
+            sub[t] = 0
+            participants.append(t)
+        if sub[h] < 0:
+            sub[h] = 0
+            participants.append(h)
+    participants.sort()
+    for i, g in enumerate(participants):
+        sub[g] = i
+    num_participants = len(participants)
+
+    has_token = bytearray(num_participants)
+    for node in accepted_edge:
+        if sub[node] >= 0:
+            has_token[sub[node]] = 1
+    game, payloads = game_from_arrays(
+        num_participants,
+        has_token,
+        [load[g] for g in participants],
+        [(sub[t], sub[h], e) for t, h, e in game_edges],
+    )
+    par_ptr, chi_ptr = game.par_ptr, game.chi_ptr
+    game_degree = 0
+    for i in range(num_participants):
+        degree = par_ptr[i + 1] - par_ptr[i] + chi_ptr[i + 1] - chi_ptr[i]
+        if degree > game_degree:
+            game_degree = degree
+    # The reference budget: three LOCAL rounds per game round of the
+    # Theorem 4.1 bound computed from this instance's height/degree.
+    max_rounds = 3 * (8 * (height + 1) * (game_degree + 1) ** 2 + 8)
+    _, final_token, _, _, consumed, engine = proposal_game_kernel(
+        game,
+        max_rounds,
+        tie_break=tie_break,
+        rngs=_node_rngs(tie_break, seed, tuple(ids[g] for g in participants))
+        if tie_break == "random"
+        else None,
+        count_messages=False,
+    )
+
+    for g in participants:
+        sub[g] = -1
+
+    if check_invariants:
+        # Maximality (output rule 3) is the part of the solution
+        # validation that guards Lemma 5.4; rules 1 and 2 hold by
+        # construction of the game kernel.
+        chi_ptr, chi_node, chi_edge = game.chi_ptr, game.chi_node, game.chi_edge
+        for i in range(num_participants):
+            if final_token[i] < 0:
+                continue
+            for s in range(chi_ptr[i], chi_ptr[i + 1]):
+                if not consumed[chi_edge[s]] and final_token[chi_node[s]] < 0:
+                    raise InvalidSolutionError(
+                        f"not maximal: token at {ids[participants[i]]!r} can "
+                        f"still move to {ids[participants[chi_node[s]]]!r}"
+                    )
+
+    consumed_edges = [payloads[ge] for ge in range(game.num_edges) if consumed[ge]]
+    return consumed_edges, engine.rounds
+
+
 def stable_orientation_kernel(
     graph: CompactGraph,
     *,
@@ -190,6 +294,7 @@ def stable_orientation_kernel(
     seed: int = 0,
     check_invariants: bool = True,
     max_phases: Optional[int] = None,
+    phase_game_solver=None,
 ) -> Tuple[List[int], List[int], int, int, int, List]:
     """Run the phase-based stable orientation algorithm on int arrays.
 
@@ -218,13 +323,7 @@ def stable_orientation_kernel(
         PHASE_OVERHEAD_ROUNDS,
         PhaseStats,
     )
-    from repro.core.token_dropping._kernels import (
-        _node_rngs,
-        game_from_arrays,
-        proposal_game_kernel,
-    )
     from repro.core.token_dropping.proposal import TIE_BREAK_POLICIES
-    from repro.core.token_dropping.traversal import InvalidSolutionError
 
     n = graph.num_nodes
     m = graph.num_edges
@@ -311,106 +410,61 @@ def stable_orientation_kernel(
             # incident to a game edge: every other node (tokenless, or a
             # token holder with no game neighbours) halts at round 0 with
             # no LEAVE fan-out in the reference execution, so dropping it
-            # changes neither the surviving run nor its rounds.
-            game_edges: List[Tuple[int, int, int]] = []
-            participants: List[int] = []
-            for e in sorted(cand):
-                h = heads[e]
-                t = eu[e] if h == ev[e] else ev[e]
-                game_edges.append((t, h, e))
-                if sub[t] < 0:
-                    sub[t] = 0
-                    participants.append(t)
-                if sub[h] < 0:
-                    sub[h] = 0
-                    participants.append(h)
-            participants.sort()
-            for i, g in enumerate(participants):
-                sub[g] = i
-            num_participants = len(participants)
-
-            has_token = bytearray(num_participants)
-            for node in accepted_edge:
-                if sub[node] >= 0:
-                    has_token[sub[node]] = 1
-            game, payloads = game_from_arrays(
-                num_participants,
-                has_token,
-                [load[g] for g in participants],
-                [(sub[t], sub[h], e) for t, h, e in game_edges],
-            )
-            par_ptr, chi_ptr = game.par_ptr, game.chi_ptr
-            game_degree = 0
-            for i in range(num_participants):
-                degree = (
-                    par_ptr[i + 1] - par_ptr[i] + chi_ptr[i + 1] - chi_ptr[i]
-                )
-                if degree > game_degree:
-                    game_degree = degree
+            # changes neither the surviving run nor its rounds.  The game
+            # runs in-process by default; a ``phase_game_solver`` (the
+            # compact-parallel backend) may instead split it into
+            # connected components and solve them in worker processes —
+            # both return the same ascending consumed-edge list.
+            game_edge_list = sorted(cand)
             # Phase-start max load, from the histogram (O(1) instead of an
             # O(n) ``max(load)`` pass; loads are bounded by Δ).
             height = cur_max
-            # The reference budget: three LOCAL rounds per game round of the
-            # Theorem 4.1 bound computed from this instance's height/degree.
-            max_rounds = 3 * (8 * (height + 1) * (game_degree + 1) ** 2 + 8)
-            _, final_token, _, _, consumed, engine = proposal_game_kernel(
-                game,
-                max_rounds,
-                tie_break=tie_break,
-                rngs=_node_rngs(
-                    tie_break, seed, tuple(ids[g] for g in participants)
+            if phase_game_solver is None:
+                consumed_edges, td_comm_rounds = _solve_phase_game_serial(
+                    eu,
+                    ev,
+                    ids,
+                    sub,
+                    load,
+                    heads,
+                    game_edge_list,
+                    accepted_edge,
+                    height,
+                    tie_break,
+                    seed,
+                    check_invariants,
                 )
-                if tie_break == "random"
-                else None,
-                count_messages=False,
-            )
-
-            for g in participants:
-                sub[g] = -1
-
-            if check_invariants:
-                # Maximality (output rule 3) is the part of the solution
-                # validation that guards Lemma 5.4; rules 1 and 2 hold by
-                # construction of the game kernel.
-                chi_ptr, chi_node, chi_edge = game.chi_ptr, game.chi_node, game.chi_edge
-                for i in range(num_participants):
-                    if final_token[i] < 0:
-                        continue
-                    for s in range(chi_ptr[i], chi_ptr[i + 1]):
-                        if not consumed[chi_edge[s]] and final_token[chi_node[s]] < 0:
-                            raise InvalidSolutionError(
-                                f"not maximal: token at {ids[participants[i]]!r} can "
-                                f"still move to {ids[participants[chi_node[s]]]!r}"
-                            )
+            else:
+                consumed_edges, td_comm_rounds = phase_game_solver(
+                    game_edge_list, accepted_edge, heads, load, height
+                )
 
             # Step 4: flip every edge consumed by a pass (each game edge maps
             # back to its oriented edge through the payload table; flipping is
             # order-independent because every edge is consumed at most once).
             edges_flipped = 0
             touched_nodes: List[int] = []
-            for ge in range(game.num_edges):
-                if consumed[ge]:
-                    e = payloads[ge]
-                    h = heads[e]
-                    t = eu[e] if h == ev[e] else ev[e]
-                    heads[e] = t
-                    lh = load[h]
-                    load[h] = lh - 1
-                    hist[lh] -= 1
-                    hist[lh - 1] += 1
-                    lt = load[t]
-                    load[t] = lt + 1
-                    hist[lt] -= 1
-                    hist[lt + 1] += 1
-                    if lt >= cur_max:
-                        cur_max = lt + 1
-                    if not touched[h]:
-                        touched[h] = 1
-                        touched_nodes.append(h)
-                    if not touched[t]:
-                        touched[t] = 1
-                        touched_nodes.append(t)
-                    edges_flipped += 1
+            for e in consumed_edges:
+                h = heads[e]
+                t = eu[e] if h == ev[e] else ev[e]
+                heads[e] = t
+                lh = load[h]
+                load[h] = lh - 1
+                hist[lh] -= 1
+                hist[lh - 1] += 1
+                lt = load[t]
+                load[t] = lt + 1
+                hist[lt] -= 1
+                hist[lt + 1] += 1
+                if lt >= cur_max:
+                    cur_max = lt + 1
+                if not touched[h]:
+                    touched[h] = 1
+                    touched_nodes.append(h)
+                if not touched[t]:
+                    touched[t] = 1
+                    touched_nodes.append(t)
+                edges_flipped += 1
 
             # Step 5: orient the accepted (previously unoriented) edges.
             for node, e in accepted_edge.items():
@@ -440,7 +494,7 @@ def stable_orientation_kernel(
             # non-empty (badness > 1 lands in ``over``, which any valid
             # run keeps empty).
             if obs.enabled():
-                obs.add("orientation.frontier.game_edges", len(game_edges))
+                obs.add("orientation.frontier.game_edges", len(game_edge_list))
                 obs.add("orientation.frontier.touched_nodes", len(touched_nodes))
                 obs.add(
                     "orientation.frontier.refreshed_slots",
@@ -473,7 +527,6 @@ def stable_orientation_kernel(
                     "this contradicts Lemma 5.4 and indicates a bug"
                 )
 
-            td_comm_rounds = engine.rounds
             td_game_rounds = -(-td_comm_rounds // 3)  # ceil, as in reconstruct_solution
             game_rounds += td_game_rounds + PHASE_OVERHEAD_ROUNDS
             communication_rounds += td_comm_rounds + PHASE_OVERHEAD_ROUNDS
@@ -689,12 +742,10 @@ def bounded_orientation_kernel(
         the run counters with the per-phase :class:`~repro.core.
         assignment.algorithm.AssignmentPhaseStats` rows.
     """
+    from repro.core.assignment._kernels import hypergraph_phase_game_kernel
     from repro.core.assignment.algorithm import (
         PHASE_OVERHEAD_ROUNDS,
         AssignmentPhaseStats,
-    )
-    from repro.core.token_dropping.hypergraph_game import (
-        HypergraphRoundLimitExceeded,
     )
 
     n = graph.num_nodes
@@ -704,9 +755,6 @@ def bounded_orientation_kernel(
     slot_edge = list(graph.slot_edge)
 
     lo, hi, labels, cust_order, pair_rank = _edge_customer_ranks(graph)
-
-    def prank(vertex: int, e: int) -> int:
-        return pair_rank[2 * e] if vertex == lo[e] else pair_rank[2 * e + 1]
 
     load = [0] * n
     choice = [-1] * m
@@ -722,6 +770,24 @@ def bounded_orientation_kernel(
     max_customer_degree = 2 if m else 0
     max_phases = 4 * (max_customer_degree + 1) * (graph.max_degree() + 1) + 4
 
+    # Frontier state, mirroring ``stable_orientation_kernel``: effective
+    # levels min(load, k) maintained incrementally (they change only when
+    # a load crosses k), a level histogram for O(1) phase height, the
+    # badness-1 candidate set ``cand`` feeding each phase's game, badness
+    # > 1 overflow in ``over`` (empty in any valid run), and reusable
+    # scratch cleared frontier-sized — no per-phase O(n)/O(m) allocation
+    # or scan.
+    level = [0] * n
+    hist = [0] * (k + 1)
+    hist[0] = n
+    cur_max = 0
+    cand: Set[int] = set()
+    over: Dict[int, int] = {}
+    live = bytearray(m)
+    incidence = [0] * n
+    occupied = bytearray(n)
+    touched = bytearray(n)
+
     while assigned < m:
         phases += 1
         if phases > max_phases:
@@ -729,7 +795,6 @@ def bounded_orientation_kernel(
                 f"stable assignment exceeded the phase budget of {max_phases}; "
                 "this contradicts Lemma 7.2 and indicates a bug"
             )
-        level = [x if x < k else k for x in load]
 
         # Step 1: every unassigned customer proposes to its least
         # effectively loaded endpoint (smaller repr on ties).  Step 2:
@@ -748,99 +813,61 @@ def bounded_orientation_kernel(
         # Step 3: the per-phase hypergraph token dropping instance —
         # levels are effective loads, hyperedges the assigned customers of
         # badness exactly 1 (head = assigned server), tokens on accepting
-        # servers.
-        live = bytearray(m)
-        game_hyperedges = 0
-        incidence = [0] * n
+        # servers.  ``cand`` holds exactly the badness-1 customers,
+        # maintained at the end of the previous phase from the customers
+        # whose endpoint levels or assignment changed — not by rescanning
+        # all m edges.
+        game_edge_list = sorted(cand)
+        game_hyperedges = len(game_edge_list)
         game_vertex_set: List[int] = []
-        for e in range(m):
-            h = choice[e]
-            if h < 0:
-                continue
-            other = lo[e] if h == hi[e] else hi[e]
-            if level[h] - level[other] == 1:
-                live[e] = 1
-                game_hyperedges += 1
-                if not incidence[lo[e]]:
-                    game_vertex_set.append(lo[e])
-                if not incidence[hi[e]]:
-                    game_vertex_set.append(hi[e])
-                incidence[lo[e]] += 1
-                incidence[hi[e]] += 1
+        for e in game_edge_list:
+            live[e] = 1
+            if not incidence[lo[e]]:
+                game_vertex_set.append(lo[e])
+            if not incidence[hi[e]]:
+                game_vertex_set.append(hi[e])
+            incidence[lo[e]] += 1
+            incidence[hi[e]] += 1
 
-        occupied = bytearray(n)
         for server in accepted:
             occupied[server] = 1
 
-        height = max(level) if level else 0
-        max_vertex_degree = max(incidence) if incidence else 0
+        # Phase height from the level histogram (O(1), not max(level)).
+        height = cur_max
+        max_vertex_degree = 0
+        for v in game_vertex_set:
+            if incidence[v] > max_vertex_degree:
+                max_vertex_degree = incidence[v]
         max_game_rounds = 8 * (height + 1) * (max_vertex_degree + 1) ** 2 + 8
 
-        # The Theorem 7.1 proposal strategy on the rank-2 game: unoccupied
-        # vertices propose to an occupied head over a live hyperedge,
-        # every proposed-to head passes its token to one proposer.  Only
-        # endpoints of live hyperedges can ever have options, so the
-        # per-round scan skips every other vertex (the reference scans
-        # them too, but they make no choices and consume no randomness).
+        # The Theorem 7.1 proposal strategy on the rank-2 game, run by the
+        # shared assignment-phase engine.  Only endpoints of live
+        # hyperedges can ever have options, so the per-round scan skips
+        # every other vertex (the reference scans them too, but they make
+        # no choices and consume no randomness).
         game_vertex_set.sort()
-        game_vertices = game_vertex_set
-        rng = random.Random(seed)
-        rounds = 0
-        passes: List[Tuple[int, int]] = []
-        while True:
-            proposals: Dict[int, List[Tuple[int, int]]] = {}
-            for v in game_vertices:
-                if occupied[v]:
-                    continue
-                options: List[Tuple[int, int]] = []
-                for s in range(indptr[v], indptr[v + 1]):
-                    e = slot_edge[s]
-                    if not live[e]:
-                        continue
-                    h = choice[e]
-                    if h == v or not occupied[h]:
-                        continue
-                    options.append((h, e))
-                if not options:
-                    continue
-                if tie_break == "min":
-                    parent, e = min(options, key=lambda he: prank(*he))
-                elif tie_break == "max":
-                    parent, e = max(options, key=lambda he: prank(*he))
-                elif tie_break == "random":
-                    options.sort(key=lambda he: prank(*he))
-                    parent, e = options[rng.randrange(len(options))]
-                else:
-                    raise ValueError(f"unknown tie-break policy {tie_break!r}")
-                proposals.setdefault(parent, []).append((v, e))
-
-            if not proposals:
-                break
-            rounds += 1
-            if rounds > max_game_rounds:
-                raise HypergraphRoundLimitExceeded(
-                    f"hypergraph proposal engine exceeded {max_game_rounds} "
-                    "game rounds"
-                )
-
-            for parent, requests in proposals.items():
-                if tie_break == "min":
-                    child, e = min(requests, key=lambda ce: prank(*ce))
-                elif tie_break == "max":
-                    child, e = max(requests, key=lambda ce: prank(*ce))
-                else:
-                    requests.sort(key=lambda ce: prank(*ce))
-                    child, e = requests[rng.randrange(len(requests))]
-                occupied[parent] = 0
-                occupied[child] = 1
-                live[e] = 0
-                passes.append((e, child))
+        rounds, passes = hypergraph_phase_game_kernel(
+            indptr=indptr,
+            slot_edge=slot_edge,
+            choice=choice,
+            live=live,
+            occupied=occupied,
+            game_vertices=game_vertex_set,
+            lo=lo,
+            hi=hi,
+            pair_rank=pair_rank,
+            tie_break=tie_break,
+            rng=random.Random(seed),
+            max_game_rounds=max_game_rounds,
+        )
 
         if check_invariants:
             # Maximality of the game outcome (the only validation rule not
             # guaranteed by construction): no occupied head may still have
-            # a live hyperedge towards an unoccupied child.
-            for e in range(m):
+            # a live hyperedge towards an unoccupied child.  The phase's
+            # game edges are exactly ``game_edge_list``; consumed ones had
+            # their ``live`` bit cleared by the engine.
+            for e in game_edge_list:
                 if not live[e]:
                     continue
                 h = choice[e]
@@ -853,11 +880,32 @@ def bounded_orientation_kernel(
                         f"not maximal at customer {labels[e]!r}"
                     )
 
+        touched_nodes: List[int] = []
+
+        def relevel(x: int) -> None:
+            nonlocal cur_max
+            lx = load[x]
+            lv = lx if lx < k else k
+            old = level[x]
+            if lv == old:
+                return
+            hist[old] -= 1
+            hist[lv] += 1
+            level[x] = lv
+            if lv > cur_max:
+                cur_max = lv
+            if not touched[x]:
+                touched[x] = 1
+                touched_nodes.append(x)
+
         # Step 4: move assignments along the passes (each consumed
         # hyperedge moved its customer one step to the pass target).
         for e, child in passes:
-            load[choice[e]] -= 1
+            h = choice[e]
+            load[h] -= 1
+            relevel(h)
             load[child] += 1
+            relevel(child)
             choice[e] = child
         reassignments = len(passes)
 
@@ -865,18 +913,61 @@ def bounded_orientation_kernel(
         for server, e in accepted.items():
             choice[e] = server
             load[server] += 1
+            relevel(server)
         assigned += len(accepted)
+        while cur_max and not hist[cur_max]:
+            cur_max -= 1
 
-        max_badness = 0
-        level = [x if x < k else k for x in load]
-        for e in range(m):
+        # Reset the phase scratch frontier-sized: the only ``occupied``
+        # bits ever set belong to accepting servers and pass targets.
+        for e in game_edge_list:
+            live[e] = 0
+        for v in game_vertex_set:
+            incidence[v] = 0
+        for server in accepted:
+            occupied[server] = 0
+        for _e, child in passes:
+            occupied[child] = 0
+
+        if obs.enabled():
+            obs.add("orientation.frontier.game_edges", game_hyperedges)
+            obs.add("orientation.frontier.touched_nodes", len(touched_nodes))
+            obs.add(
+                "orientation.frontier.refreshed_slots",
+                sum(indptr[x + 1] - indptr[x] for x in touched_nodes),
+            )
+
+        # End-of-phase badness maintenance: a customer's badness can only
+        # change when an endpoint's effective level changed or its
+        # assignment moved, so refreshing the touched nodes' incident
+        # customers plus the passed and newly accepted ones is exhaustive.
+        def refresh(e: int) -> None:
             h = choice[e]
             if h < 0:
-                continue
+                return
             other = lo[e] if h == hi[e] else hi[e]
             badness = level[h] - level[other]
-            if badness > max_badness:
-                max_badness = badness
+            if badness == 1:
+                cand.add(e)
+                if over:
+                    over.pop(e, None)
+            else:
+                cand.discard(e)
+                if badness > 1:
+                    over[e] = badness
+                elif over:
+                    over.pop(e, None)
+
+        for x in touched_nodes:
+            touched[x] = 0
+            for s in range(indptr[x], indptr[x + 1]):
+                refresh(slot_edge[s])
+        for e, _child in passes:
+            refresh(e)
+        for e in accepted.values():
+            refresh(e)
+
+        max_badness = max(over.values()) if over else (1 if cand else 0)
         if check_invariants and max_badness > 1:
             raise AlgorithmError(
                 f"phase {phases} ended with max badness {max_badness} > 1; "

@@ -1,0 +1,514 @@
+"""``repro.parallel`` — shared-memory parallel phase games.
+
+The phase-based stable orientation algorithm (Theorem 5.1) is
+embarrassingly parallel *within* a phase: the per-phase token dropping
+game decomposes into connected components that never exchange messages,
+so each component's propose/grant/leave rounds, round count, and consumed
+edge set are exactly what they would be in the whole-game run.  This
+module exploits that:
+
+* the instance's CSR buffers are exported once into POSIX shared memory
+  (:meth:`~repro.graphs.compact.CompactGraph.to_shm`) and mapped
+  zero-copy by a persistent pool of worker processes — the ~8 bytes/slot
+  of array payload never crosses a pipe;
+* each phase, the master partitions the game-edge frontier into
+  connected components (union–find over the participating nodes — cost
+  proportional to the frontier, never to ``n`` or ``m``), writes the
+  frontier's ``heads``/``load`` entries into a small shared side
+  segment, and dispatches component batches carrying only edge ids;
+* workers rebuild each component's sub-game from the shared arrays
+  (local dense ids in ascending global order), solve it with the same
+  :func:`~repro.core.token_dropping._kernels.proposal_game_kernel`, and
+  return the consumed edges plus round count;
+* the master merges in deterministic component order: consumed edges are
+  the sorted union (the serial kernel's ascending order), the phase's
+  round count is the max over components (components run concurrently in
+  the LOCAL model), and maximality violations surface as the lowest
+  participant's — bit for bit what the serial kernel produces.
+
+Dispatch
+--------
+``backend="compact-parallel"`` (or ``REPRO_BACKEND=compact-parallel``) on
+:func:`~repro.core.orientation.phases.run_stable_orientation` routes
+here; entry points without a parallel path degrade to ``compact``.
+``REPRO_WORKERS`` caps the worker count (default: all CPUs), and
+instances below ``REPRO_PARALLEL_MIN_EDGES`` edges (default
+``50_000``) auto-fall back to the serial kernel — at that size the fork
+plus pickle overhead costs more than the games.  Phases whose game is
+smaller than ``min_game_edges`` run in the master process through the
+identical serial path, so tiny late-phase games never pay a dispatch.
+
+Every run is bit-for-bit identical to ``backend="compact"``; the
+cross-validation suite asserts it on 100+ seeded instances.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.graphs.compact import INDEX_TYPECODE, CompactGraph
+
+__all__ = [
+    "DEFAULT_MIN_EDGES",
+    "DEFAULT_MIN_GAME_EDGES",
+    "MIN_EDGES_ENV_VAR",
+    "WORKERS_ENV_VAR",
+    "PhaseGamePool",
+    "parallel_stable_orientation_kernel",
+    "resolve_workers",
+]
+
+#: Worker-count override; unset means one worker per CPU.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Instance-size floor (edges) below which the serial kernel runs instead.
+MIN_EDGES_ENV_VAR = "REPRO_PARALLEL_MIN_EDGES"
+DEFAULT_MIN_EDGES = 50_000
+
+#: Per-phase game-size floor (game edges) below which the phase's game is
+#: solved in the master process (identical serial code path).
+DEFAULT_MIN_GAME_EDGES = 512
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count: argument, ``REPRO_WORKERS``, or CPUs."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        workers = int(env) if env else (os.cpu_count() or 1)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _resolve_min_edges(min_edges: Optional[int]) -> int:
+    if min_edges is None:
+        env = os.environ.get(MIN_EDGES_ENV_VAR, "").strip()
+        min_edges = int(env) if env else DEFAULT_MIN_EDGES
+    return min_edges
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+#: Per-worker-process state, populated by :func:`_worker_init`.
+_WORKER: Dict[str, object] = {}
+
+
+def _worker_init(graph_meta, aux_name, num_nodes, num_edges, counter) -> None:
+    """Pool initializer: claim a worker index, attach the shared arrays.
+
+    Runs before any task: the inherited obs state is reset first
+    (:func:`repro.obs.after_fork_in_child`) so even the attach itself
+    could be traced safely, then the graph segment and the master-written
+    ``heads``/``load`` side segment are mapped zero-copy.
+    """
+    from multiprocessing import shared_memory
+
+    with counter.get_lock():
+        index = counter.value
+        counter.value += 1
+    obs.after_fork_in_child()
+    handle = CompactGraph.attach_shm(graph_meta)
+    aux = shared_memory.SharedMemory(name=aux_name)
+    raw = memoryview(aux.buf)
+    heads = raw[: num_edges * 8].cast(INDEX_TYPECODE)
+    loads = raw[num_edges * 8 : (num_edges + num_nodes) * 8].cast(INDEX_TYPECODE)
+    _WORKER.update(
+        index=index,
+        handle=handle,
+        graph=handle.graph,
+        aux=aux,
+        heads=heads,
+        loads=loads,
+    )
+
+
+def _solve_component(
+    graph: CompactGraph,
+    heads,
+    loads,
+    edges: Sequence[int],
+    token_nodes: Sequence[int],
+    reprs: Optional[Sequence[str]],
+    height: int,
+    tie_break: str,
+    seed: int,
+    check_invariants: bool,
+) -> Tuple[List[int], int, Optional[Tuple[int, int]]]:
+    """Solve one connected component's game against the shared arrays.
+
+    ``edges`` are ascending global edge ids; local game ids are assigned
+    in ascending global-node order, which makes the sub-game's CSR, tie
+    ranks, and round schedule identical to the component's slice of the
+    serial whole-game run.  Returns ``(consumed_edges, rounds,
+    violation)`` with ``violation`` the first maximality offence as dense
+    ``(token_node, child_node)`` — the master formats the error with the
+    original ids, which workers deliberately do not have.
+    """
+    from repro.core.token_dropping._kernels import (
+        game_from_arrays,
+        proposal_game_kernel,
+    )
+
+    eu = graph.edge_u
+    ev = graph.edge_v
+    game_edges: List[Tuple[int, int, int]] = []
+    sub: Dict[int, int] = {}
+    for e in edges:
+        h = heads[e]
+        t = eu[e] if h == ev[e] else ev[e]
+        game_edges.append((t, h, e))
+        sub.setdefault(t, 0)
+        sub.setdefault(h, 0)
+    participants = sorted(sub)
+    for i, g in enumerate(participants):
+        sub[g] = i
+
+    has_token = bytearray(len(participants))
+    for node in token_nodes:
+        has_token[sub[node]] = 1
+    game, payloads = game_from_arrays(
+        len(participants),
+        has_token,
+        [loads[g] for g in participants],
+        [(sub[t], sub[h], e) for t, h, e in game_edges],
+    )
+    par_ptr, chi_ptr = game.par_ptr, game.chi_ptr
+    game_degree = 0
+    for i in range(len(participants)):
+        degree = par_ptr[i + 1] - par_ptr[i] + chi_ptr[i + 1] - chi_ptr[i]
+        if degree > game_degree:
+            game_degree = degree
+    # Same Theorem 4.1 budget as the serial kernel: the global height with
+    # the component's degree — a component degree never exceeds the whole
+    # game's, so this budget is at most the serial one and the component
+    # run (a restriction of the serial run) always fits it.
+    max_rounds = 3 * (8 * (height + 1) * (game_degree + 1) ** 2 + 8)
+    _, final_token, _, _, consumed, engine = proposal_game_kernel(
+        game,
+        max_rounds,
+        tie_break=tie_break,
+        rngs=[random.Random(f"{seed}:{r}") for r in reprs]
+        if reprs is not None
+        else None,
+        count_messages=False,
+    )
+
+    violation: Optional[Tuple[int, int]] = None
+    if check_invariants:
+        chi_node, chi_edge = game.chi_node, game.chi_edge
+        for i in range(len(participants)):
+            if final_token[i] < 0:
+                continue
+            for s in range(chi_ptr[i], chi_ptr[i + 1]):
+                if not consumed[chi_edge[s]] and final_token[chi_node[s]] < 0:
+                    violation = (participants[i], participants[chi_node[s]])
+                    break
+            if violation is not None:
+                break
+
+    consumed_edges = [payloads[ge] for ge in range(game.num_edges) if consumed[ge]]
+    return consumed_edges, engine.rounds, violation
+
+
+def _run_batch(task):
+    """Worker task: solve a batch of components, one result per component."""
+    tie_break, seed, height, check_invariants, comps = task
+    graph = _WORKER["graph"]
+    heads = _WORKER["heads"]
+    loads = _WORKER["loads"]
+    results = []
+    with obs.span(
+        "parallel.batch",
+        worker=_WORKER["index"],
+        components=len(comps),
+        edges=sum(len(comp[0]) for comp in comps),
+    ):
+        for edges, token_nodes, reprs in comps:
+            results.append(
+                _solve_component(
+                    graph,
+                    heads,
+                    loads,
+                    edges,
+                    token_nodes,
+                    reprs,
+                    height,
+                    tie_break,
+                    seed,
+                    check_invariants,
+                )
+            )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Master side
+# ----------------------------------------------------------------------
+class PhaseGamePool:
+    """A persistent worker pool mapping one graph's shared-memory export.
+
+    Owns three resources for the lifetime of one parallel kernel run: the
+    graph segment (read-only for everyone), a ``heads``+``load`` side
+    segment the master updates with each phase's frontier entries, and a
+    ``ProcessPoolExecutor`` whose workers attached both in their
+    initializer.  ``close()`` tears all of it down and unlinks the
+    segments; a crashed worker surfaces as ``BrokenProcessPool`` from the
+    in-flight phase and the segments are still reclaimed.
+    """
+
+    def __init__(self, graph: CompactGraph, workers: Optional[int] = None):
+        import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor
+        from multiprocessing import shared_memory
+
+        self.graph = graph
+        self.workers = resolve_workers(workers)
+        n = graph.num_nodes
+        m = graph.num_edges
+        self._export = graph.to_shm()
+        self._aux = shared_memory.SharedMemory(create=True, size=max((n + m) * 8, 1))
+        raw = memoryview(self._aux.buf)
+        self._aux_views = [raw]
+        self.shm_heads = raw[: m * 8].cast(INDEX_TYPECODE)
+        self.shm_loads = raw[m * 8 : (m + n) * 8].cast(INDEX_TYPECODE)
+        self._aux_views += [self.shm_heads, self.shm_loads]
+
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(method)
+        counter = ctx.Value("l", 0)
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=ctx,
+            initializer=_worker_init,
+            initargs=(self._export.meta, self._aux.name, n, m, counter),
+        )
+        self._closed = False
+
+    def run_components(self, tasks) -> List:
+        """Run batches on the pool; results in submission (batch) order."""
+        return list(self._executor.map(_run_batch, tasks))
+
+    def close(self) -> None:
+        """Shut the pool down and unlink both segments (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=True)
+        for view in reversed(self._aux_views):
+            view.release()
+        self._aux_views = ()
+        self.shm_heads = self.shm_loads = None
+        self._aux.close()
+        try:
+            self._aux.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        self._export.close()
+
+    def __enter__(self) -> "PhaseGamePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _partition_components(
+    game_edge_list: Sequence[int],
+    heads: Sequence[int],
+    eu: Sequence[int],
+    ev: Sequence[int],
+) -> Tuple[List[List[int]], Dict[int, int]]:
+    """Union–find partition of the phase's game edges into components.
+
+    Cost is proportional to the frontier (the game edges), never to the
+    graph.  Returns ``(components, comp_of_node)``: each component is its
+    ascending edge-id list, components ordered by smallest member edge —
+    a deterministic order for the merge.
+    """
+    parent: Dict[int, int] = {}
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for e in game_edge_list:
+        h = heads[e]
+        t = eu[e] if h == ev[e] else ev[e]
+        if t not in parent:
+            parent[t] = t
+        if h not in parent:
+            parent[h] = h
+        rt, rh = find(t), find(h)
+        if rt != rh:
+            parent[rh] = rt
+
+    comp_index: Dict[int, int] = {}
+    components: List[List[int]] = []
+    for e in game_edge_list:
+        h = heads[e]
+        t = eu[e] if h == ev[e] else ev[e]
+        root = find(t)
+        idx = comp_index.get(root)
+        if idx is None:
+            idx = len(components)
+            comp_index[root] = idx
+            components.append([])
+        components[idx].append(e)
+
+    comp_of_node = {node: comp_index[find(node)] for node in parent}
+    return components, comp_of_node
+
+
+def parallel_stable_orientation_kernel(
+    graph: CompactGraph,
+    *,
+    tie_break: str = "min",
+    seed: int = 0,
+    check_invariants: bool = True,
+    max_phases: Optional[int] = None,
+    workers: Optional[int] = None,
+    min_edges: Optional[int] = None,
+    min_game_edges: int = DEFAULT_MIN_GAME_EDGES,
+) -> Tuple[List[int], List[int], int, int, int, List]:
+    """The ``compact-parallel`` stable orientation kernel.
+
+    Drop-in for :func:`~repro.core.orientation._kernels.
+    stable_orientation_kernel` with identical output: the phase driver
+    runs unchanged in this process; only each phase's token dropping game
+    is partitioned by connected component and farmed out to the pool.
+    Falls back to the serial kernel outright when the instance is smaller
+    than ``min_edges`` or only one worker is available.
+    """
+    from repro.core.orientation._kernels import (
+        _solve_phase_game_serial,
+        stable_orientation_kernel,
+    )
+    from repro.core.token_dropping.traversal import InvalidSolutionError
+
+    workers = resolve_workers(workers)
+    min_edges = _resolve_min_edges(min_edges)
+    serial_kwargs = dict(
+        tie_break=tie_break,
+        seed=seed,
+        check_invariants=check_invariants,
+        max_phases=max_phases,
+    )
+    if workers <= 1 or graph.num_edges < min_edges:
+        return stable_orientation_kernel(graph, **serial_kwargs)
+
+    eu = graph.edge_u
+    ev = graph.edge_v
+    ids = graph.node_ids
+    sub = [-1] * graph.num_nodes  # serial-fallback scratch (small phases)
+    random_ties = tie_break == "random"
+
+    with PhaseGamePool(graph, workers=workers) as pool:
+        shm_heads = pool.shm_heads
+        shm_loads = pool.shm_loads
+
+        def solver(game_edge_list, accepted_edge, heads, load, height):
+            if not game_edge_list:
+                # An empty game halts at round 0 with nothing consumed.
+                return [], 0
+            if len(game_edge_list) < min_game_edges:
+                return _solve_phase_game_serial(
+                    eu,
+                    ev,
+                    ids,
+                    sub,
+                    load,
+                    heads,
+                    game_edge_list,
+                    accepted_edge,
+                    height,
+                    tie_break,
+                    seed,
+                    check_invariants,
+                )
+
+            components, comp_of_node = _partition_components(
+                game_edge_list, heads, eu, ev
+            )
+            # Sync exactly the entries workers will read: the game edges'
+            # heads and the participants' loads — O(frontier) writes.
+            for e in game_edge_list:
+                shm_heads[e] = heads[e]
+            for node in comp_of_node:
+                shm_loads[node] = load[node]
+
+            tokens: List[List[int]] = [[] for _ in components]
+            for node in accepted_edge:
+                idx = comp_of_node.get(node)
+                if idx is not None:
+                    tokens[idx].append(node)
+            reprs: List[Optional[List[str]]] = [None] * len(components)
+            if random_ties:
+                members: List[List[int]] = [[] for _ in components]
+                for node, idx in comp_of_node.items():
+                    members[idx].append(node)
+                reprs = [
+                    [repr(ids[g]) for g in sorted(nodes)] for nodes in members
+                ]
+
+            # Contiguous batches balanced by edge count: results come back
+            # in component order with no reordering bookkeeping.
+            num_batches = min(len(components), pool.workers * 2)
+            share = len(game_edge_list) / num_batches
+            tasks = []
+            batch: List = []
+            batched_edges = 0
+            for idx, comp in enumerate(components):
+                batch.append(
+                    (array(INDEX_TYPECODE, comp), tokens[idx], reprs[idx])
+                )
+                batched_edges += len(comp)
+                if batched_edges >= share * (len(tasks) + 1) and len(
+                    tasks
+                ) < num_batches - 1:
+                    tasks.append(
+                        (tie_break, seed, height, check_invariants, batch)
+                    )
+                    batch = []
+            if batch:
+                tasks.append((tie_break, seed, height, check_invariants, batch))
+            if obs.enabled():
+                obs.add("orientation.parallel.components", len(components))
+                obs.add("orientation.parallel.batches", len(tasks))
+                obs.add(
+                    "orientation.parallel.dispatched_edges", len(game_edge_list)
+                )
+
+            consumed_edges: List[int] = []
+            rounds = 0
+            violation = None
+            for batch_result in pool.run_components(tasks):
+                for comp_consumed, comp_rounds, comp_violation in batch_result:
+                    consumed_edges.extend(comp_consumed)
+                    if comp_rounds > rounds:
+                        rounds = comp_rounds
+                    if comp_violation is not None and (
+                        violation is None or comp_violation[0] < violation[0]
+                    ):
+                        violation = comp_violation
+            if violation is not None:
+                # The serial kernel reports the first violating
+                # participant in ascending dense order — so does this.
+                raise InvalidSolutionError(
+                    f"not maximal: token at {ids[violation[0]]!r} can "
+                    f"still move to {ids[violation[1]]!r}"
+                )
+            consumed_edges.sort()  # the serial kernel's ascending order
+            return consumed_edges, rounds
+
+        return stable_orientation_kernel(
+            graph, phase_game_solver=solver, **serial_kwargs
+        )

@@ -1,0 +1,229 @@
+"""Shared-memory export lifecycle: attach, refcounts, crash reclamation.
+
+The ``to_shm``/``attach_shm`` pair underpins the ``compact-parallel``
+backend, so its failure modes matter as much as its happy path: a stale
+meta must raise :class:`ShmError` (not a cryptic ``FileNotFoundError``),
+an owner closing under a live same-process attachment must defer the
+unlink instead of yanking the mapping, and a worker crash mid-run must
+still reclaim every segment — no ``/dev/shm`` litter, no resource-tracker
+leak warnings.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.orientation.problem import OrientationProblem
+from repro.graphs.compact import CompactGraph, ShmError
+
+
+def _graph(seed: int = 0, n: int = 30, p: float = 0.2) -> CompactGraph:
+    rng = random.Random(seed)
+    edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if rng.random() < p
+    ]
+    return CompactGraph.from_orientation_problem(
+        OrientationProblem(edges, nodes=range(n))
+    )
+
+
+def _segment_exists(name: str) -> bool:
+    """Whether the POSIX segment still exists, via a fresh attach probe."""
+    from multiprocessing import shared_memory
+
+    try:
+        probe = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    probe.close()
+    return True
+
+
+def test_roundtrip_preserves_every_buffer():
+    graph = _graph()
+    with graph.to_shm() as export:
+        attached = CompactGraph.attach_shm(export.meta)
+        try:
+            mirror = attached.graph
+            assert mirror.num_nodes == graph.num_nodes
+            assert mirror.num_edges == graph.num_edges
+            assert list(mirror.indptr) == list(graph.indptr)
+            assert list(mirror.indices) == list(graph.indices)
+            assert list(mirror.slot_edge) == list(graph.slot_edge)
+            assert list(mirror.edge_u) == list(graph.edge_u)
+            assert list(mirror.edge_v) == list(graph.edge_v)
+            # Dense-id graph: original labels deliberately not shipped.
+            assert list(mirror.node_ids) == list(range(graph.num_nodes))
+        finally:
+            attached.close()
+
+
+def test_attached_kernel_run_matches_original():
+    """A kernel run on the zero-copy mirror equals one on the original."""
+    from repro.core.orientation._kernels import stable_orientation_kernel
+
+    graph = _graph(seed=3)
+    serial = stable_orientation_kernel(graph, seed=3)
+    with graph.to_shm() as export:
+        attached = CompactGraph.attach_shm(export.meta)
+        try:
+            assert stable_orientation_kernel(attached.graph, seed=3) == serial
+        finally:
+            attached.close()
+
+
+def test_attach_after_unlink_raises_shm_error():
+    graph = _graph()
+    export = graph.to_shm()
+    meta = export.meta
+    export.close()
+    with pytest.raises(ShmError, match="already unlinked"):
+        CompactGraph.attach_shm(meta)
+
+
+def test_attach_bogus_name_raises_shm_error():
+    with pytest.raises(ShmError, match="does not exist"):
+        CompactGraph.attach_shm(
+            {
+                "name": "repro_test_never_created",
+                "num_nodes": 1,
+                "lengths": {
+                    "indptr": 2,
+                    "indices": 0,
+                    "slot_edge": 0,
+                    "edge_u": 0,
+                    "edge_v": 0,
+                },
+            }
+        )
+
+
+def test_undersized_segment_raises_shm_error():
+    graph = _graph()
+    export = graph.to_shm()
+    try:
+        bad_meta = dict(export.meta)
+        bad_meta["lengths"] = {
+            field: length * 1000
+            for field, length in export.meta["lengths"].items()
+        }
+        with pytest.raises(ShmError, match="holds"):
+            CompactGraph.attach_shm(bad_meta)
+    finally:
+        export.close()
+
+
+def test_double_attach_and_interleaved_close():
+    """Two same-process attachments are independent handles."""
+    graph = _graph()
+    export = graph.to_shm()
+    first = CompactGraph.attach_shm(export.meta)
+    second = CompactGraph.attach_shm(export.meta)
+    first.close()
+    # The second attachment still reads valid data.
+    assert list(second.graph.edge_u) == list(graph.edge_u)
+    second.close()
+    export.close()
+    assert not _segment_exists(export.meta["name"])
+
+
+def test_owner_close_defers_unlink_until_last_attachment():
+    """Owner closing first must not pull the segment from an attachment."""
+    graph = _graph()
+    export = graph.to_shm()
+    name = export.meta["name"]
+    attached = CompactGraph.attach_shm(export.meta)
+    export.close()
+    # The unlink is deferred: the attachment keeps working and the
+    # segment stays attachable for newcomers.
+    assert _segment_exists(name)
+    assert list(attached.graph.indptr) == list(graph.indptr)
+    attached.close()
+    assert not _segment_exists(name)
+
+
+def test_close_is_idempotent():
+    export = _graph().to_shm()
+    export.close()
+    export.close()
+    assert not _segment_exists(export.meta["name"])
+
+
+_CRASH_SCRIPT = """
+import os, sys
+import repro.parallel as par
+from repro.core.orientation.problem import OrientationProblem
+from repro.graphs.compact import CompactGraph
+from repro.parallel import parallel_stable_orientation_kernel
+
+# Every dispatched batch kills its worker outright: the pool breaks mid
+# phase, which is the harshest teardown path the master has.
+par._run_batch = lambda task: os._exit(3)
+
+import random
+rng = random.Random(0)
+n = 400
+edges = [(u, v) for u in range(n) for v in range(u + 1, n)
+         if rng.random() < 0.02]
+graph = CompactGraph.from_orientation_problem(
+    OrientationProblem(edges, nodes=range(n)))
+
+names = []
+orig_init = par.PhaseGamePool.__init__
+def spy_init(self, *args, **kwargs):
+    orig_init(self, *args, **kwargs)
+    names.append(self._export.meta["name"])
+    names.append(self._aux.name)
+par.PhaseGamePool.__init__ = spy_init
+
+try:
+    parallel_stable_orientation_kernel(
+        graph, seed=0, workers=2, min_edges=0, min_game_edges=0)
+except Exception as exc:
+    print("CRASHED", type(exc).__name__)
+else:
+    print("NO-CRASH")
+
+from multiprocessing import shared_memory
+leaked = []
+for name in names:
+    try:
+        probe = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        continue
+    probe.close()
+    leaked.append(name)
+print("LEAKED", leaked)
+"""
+
+
+def test_worker_crash_reclaims_segments():
+    """A dying worker breaks the pool but leaks no shared memory.
+
+    Run in a subprocess so the broken fork pool and the resource-tracker
+    warnings (if any) are isolated from the test process; the script
+    reports whether the graph and aux segments survived teardown.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.abspath("src"), env.get("PYTHONPATH", "")])
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _CRASH_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "CRASHED" in proc.stdout, proc.stdout
+    assert "LEAKED []" in proc.stdout, proc.stdout
+    assert "leaked shared_memory" not in proc.stderr, proc.stderr

@@ -1,0 +1,181 @@
+"""Bit-for-bit serial vs ``compact-parallel`` agreement.
+
+The whole contract of :mod:`repro.parallel` is that the parallel kernel
+is *indistinguishable* from the serial one: same heads, same loads, same
+phase count, same per-phase round counts.  This suite asserts exact
+tuple equality on 100+ seeded random instances (forcing real pool
+dispatch with ``min_edges=0`` / ``min_game_edges=0`` so even tiny games
+cross the process boundary), plus the structural corner cases: mixed
+Python types as node ids, edgeless graphs, and single-component
+worst cases where no parallelism is available at all.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.orientation._kernels import stable_orientation_kernel
+from repro.core.orientation.phases import run_stable_orientation
+from repro.core.orientation.problem import OrientationProblem
+from repro.graphs.compact import CompactGraph
+from repro.parallel import parallel_stable_orientation_kernel
+
+#: Force real dispatch: two workers, no instance-size or game-size floor.
+FORCE = dict(workers=2, min_edges=0, min_game_edges=0)
+
+TIE_BREAKS = ("min", "max", "random")
+
+#: 10 seed blocks x 4 seeds x 3 tie-breaks = 120 random instances.
+SEED_BLOCKS = range(10)
+SEEDS_PER_BLOCK = 4
+
+
+def _random_problem(seed: int, n: int = 40, p: float = 0.12) -> OrientationProblem:
+    rng = random.Random(seed)
+    edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if rng.random() < p
+    ]
+    return OrientationProblem(edges, nodes=range(n))
+
+
+def _assert_kernels_agree(graph: CompactGraph, tie_break: str, seed: int) -> None:
+    serial = stable_orientation_kernel(graph, tie_break=tie_break, seed=seed)
+    parallel = parallel_stable_orientation_kernel(
+        graph, tie_break=tie_break, seed=seed, **FORCE
+    )
+    assert parallel == serial
+
+
+@pytest.mark.parametrize("tie_break", TIE_BREAKS)
+@pytest.mark.parametrize("block", SEED_BLOCKS)
+def test_random_instances_agree(block, tie_break):
+    """Seeded G(n, p) instances: the parallel run is bit for bit serial."""
+    for seed in range(block * SEEDS_PER_BLOCK, (block + 1) * SEEDS_PER_BLOCK):
+        graph = CompactGraph.from_orientation_problem(_random_problem(seed))
+        _assert_kernels_agree(graph, tie_break, seed)
+
+
+@pytest.mark.parametrize("tie_break", TIE_BREAKS)
+def test_mixed_type_node_ids_agree(tie_break):
+    """Ids of mixed Python types survive the worker round-trip.
+
+    Workers never see the original ids (components travel as dense
+    ints; random tie-breaks get the pre-rendered reprs), so strings,
+    ints, tuples, and floats must all come back identical.
+    """
+    nodes = ["alpha", 7, ("srv", 1), 3.5, "beta", 0, ("srv", 2), -2]
+    rng = random.Random(99)
+    edges = [
+        (u, v)
+        for i, u in enumerate(nodes)
+        for v in nodes[i + 1 :]
+        if rng.random() < 0.5
+    ]
+    graph = CompactGraph.from_orientation_problem(
+        OrientationProblem(edges, nodes=nodes)
+    )
+    _assert_kernels_agree(graph, tie_break, seed=99)
+
+
+def test_edgeless_graph_agrees():
+    """No edges: zero phases, and the pool path must not trip on m=0."""
+    graph = CompactGraph.from_orientation_problem(
+        OrientationProblem([], nodes=range(5))
+    )
+    _assert_kernels_agree(graph, "min", seed=0)
+    heads, loads, phases, *_ = parallel_stable_orientation_kernel(
+        graph, seed=0, **FORCE
+    )
+    assert phases == 0
+    assert list(loads) == [0] * 5
+
+
+@pytest.mark.parametrize("tie_break", TIE_BREAKS)
+def test_single_component_path_agrees(tie_break):
+    """A path is one connected component: no parallelism to exploit."""
+    edges = [(i, i + 1) for i in range(200)]
+    graph = CompactGraph.from_orientation_problem(
+        OrientationProblem(edges, nodes=range(201))
+    )
+    _assert_kernels_agree(graph, tie_break, seed=3)
+
+
+def test_single_component_star_agrees():
+    """A star concentrates every game edge on one hub node."""
+    edges = [("hub", i) for i in range(80)]
+    graph = CompactGraph.from_orientation_problem(
+        OrientationProblem(edges, nodes=["hub", *range(80)])
+    )
+    _assert_kernels_agree(graph, "min", seed=0)
+
+
+def test_worker_count_does_not_change_results():
+    """Results are a function of the instance, never of the pool size."""
+    graph = CompactGraph.from_orientation_problem(_random_problem(7))
+    reference = parallel_stable_orientation_kernel(
+        graph, seed=7, workers=2, min_edges=0, min_game_edges=0
+    )
+    other = parallel_stable_orientation_kernel(
+        graph, seed=7, workers=3, min_edges=0, min_game_edges=0
+    )
+    assert other == reference
+
+
+def _result_signature(result):
+    return (
+        sorted(result.orientation.oriented_edges(), key=repr),
+        result.phases,
+        result.game_rounds,
+        result.communication_rounds,
+        result.per_phase,
+    )
+
+
+def test_backend_compact_parallel_matches_compact(monkeypatch):
+    """``backend="compact-parallel"`` equals ``backend="compact"``."""
+    # Force the backend past its size floor so a real pool spins up.
+    monkeypatch.setenv("REPRO_PARALLEL_MIN_EDGES", "0")
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    problem = _random_problem(11)
+    serial = run_stable_orientation(problem, seed=11, backend="compact")
+    parallel = run_stable_orientation(
+        problem, seed=11, backend="compact-parallel"
+    )
+    assert _result_signature(parallel) == _result_signature(serial)
+
+
+def test_env_backend_selects_parallel(monkeypatch):
+    """``REPRO_BACKEND=compact-parallel`` routes the default dispatch."""
+    monkeypatch.setenv("REPRO_BACKEND", "compact-parallel")
+    monkeypatch.setenv("REPRO_PARALLEL_MIN_EDGES", "0")
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    problem = _random_problem(12)
+    via_env = run_stable_orientation(problem, seed=12)
+    monkeypatch.delenv("REPRO_BACKEND")
+    serial = run_stable_orientation(problem, seed=12, backend="compact")
+    assert _result_signature(via_env) == _result_signature(serial)
+
+
+def test_small_instances_never_touch_the_pool(monkeypatch):
+    """Below ``min_edges`` the parallel entry point is pure serial."""
+    import repro.parallel as par
+
+    def _boom(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("PhaseGamePool created below the size floor")
+
+    monkeypatch.setattr(par, "PhaseGamePool", _boom)
+    graph = CompactGraph.from_orientation_problem(_random_problem(5))
+    serial = stable_orientation_kernel(graph, seed=5)
+    assert parallel_stable_orientation_kernel(graph, seed=5, workers=4) == serial
+    # workers=1 skips the pool even with the floor removed.
+    assert (
+        parallel_stable_orientation_kernel(
+            graph, seed=5, workers=1, min_edges=0
+        )
+        == serial
+    )

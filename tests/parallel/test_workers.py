@@ -1,0 +1,39 @@
+"""Worker-count resolution: argument > ``REPRO_WORKERS`` > CPU count."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import WORKERS_ENV_VAR, resolve_workers
+
+
+def test_argument_wins_over_env(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV_VAR, "8")
+    assert resolve_workers(3) == 3
+
+
+def test_env_wins_over_cpu_count(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV_VAR, "6")
+    assert resolve_workers() == 6
+
+
+def test_defaults_to_cpu_count(monkeypatch):
+    import repro.parallel as par
+
+    monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+    monkeypatch.setattr(par.os, "cpu_count", lambda: 5)
+    assert resolve_workers() == 5
+
+
+def test_blank_env_is_ignored(monkeypatch):
+    import repro.parallel as par
+
+    monkeypatch.setenv(WORKERS_ENV_VAR, "  ")
+    monkeypatch.setattr(par.os, "cpu_count", lambda: 2)
+    assert resolve_workers() == 2
+
+
+@pytest.mark.parametrize("bad", [0, -1])
+def test_non_positive_counts_are_rejected(bad):
+    with pytest.raises(ValueError, match="workers must be >= 1"):
+        resolve_workers(bad)

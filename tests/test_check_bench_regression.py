@@ -196,6 +196,126 @@ def test_timing_rounds_scale_for_fast_scenarios():
 @pytest.mark.parametrize("suite", sorted(cbr.GATES))
 def test_gate_scenarios_are_committed(suite):
     """Every registered gate re-times a scenario that is committed."""
-    payload = json.loads((REPO_ROOT / f"BENCH_{suite}.json").read_text())
     gate = cbr.GATES[suite]()
+    bench_name = gate.bench_suite or suite
+    payload = json.loads((REPO_ROOT / f"BENCH_{bench_name}.json").read_text())
     assert gate.scenario in payload["scenarios"], (suite, gate.scenario)
+
+
+def test_min_cpus_skips_timing_but_runs_agreement(monkeypatch, tmp_path, capsys):
+    _write_bench(tmp_path, "fake", "scenario", 0.1)
+    agreement_calls = []
+
+    def check_agreement(ctx):
+        agreement_calls.append(1)
+        return None
+
+    gate = cbr.SuiteGate(
+        scenario="scenario",
+        prepare=lambda: {},
+        run=lambda ctx: None,
+        reference=lambda ctx: None,
+        check_agreement=check_agreement,
+        min_cpus=4,
+    )
+    monkeypatch.setattr(cbr, "GATES", {"fake": lambda: gate})
+    monkeypatch.setattr(cbr.os, "cpu_count", lambda: 2)
+
+    def no_timing(fn, rounds):  # pragma: no cover - would mean a bug
+        raise AssertionError("timing must not run below the CPU floor")
+
+    monkeypatch.setattr(cbr, "timed_median", no_timing)
+    assert cbr.main(["--bench-dir", str(tmp_path)]) == 0
+    assert agreement_calls == [1]
+    assert "SKIPPED timing" in capsys.readouterr().out
+
+
+def test_min_cpus_agreement_failure_still_fails(monkeypatch, tmp_path, capsys):
+    _write_bench(tmp_path, "fake", "scenario", 0.1)
+    gate = cbr.SuiteGate(
+        scenario="scenario",
+        prepare=lambda: {},
+        run=lambda ctx: None,
+        reference=lambda ctx: None,
+        check_agreement=lambda ctx: "parallel and serial disagree",
+        min_cpus=64,
+    )
+    monkeypatch.setattr(cbr, "GATES", {"fake": lambda: gate})
+    assert cbr.main(["--bench-dir", str(tmp_path)]) == 1
+    assert "parallel and serial disagree" in capsys.readouterr().err
+
+
+def test_bench_suite_override_reads_other_file(monkeypatch, tmp_path):
+    # A gate may point at another suite's BENCH file (scale_parallel
+    # reads BENCH_scale.json); its own name must not be consulted.
+    _write_bench(tmp_path, "other", "scenario", 0.1)
+    gate = cbr.SuiteGate(
+        scenario="scenario",
+        prepare=lambda: {},
+        run=lambda ctx: None,
+        bench_suite="other",
+    )
+    _patch(monkeypatch, gate, [0.12])
+    assert cbr.main(["--bench-dir", str(tmp_path)]) == 0
+
+
+def _write_bench_with_peak(tmp_path, suite, scenario, median, peak_mb):
+    (tmp_path / f"BENCH_{suite}.json").write_text(
+        json.dumps(
+            {
+                "scenarios": {
+                    scenario: {
+                        "median_seconds": median,
+                        "extra_info": {"peak_mb": peak_mb},
+                    }
+                }
+            }
+        )
+    )
+
+
+def _memory_gate():
+    return cbr.SuiteGate(
+        scenario="scenario",
+        prepare=lambda: {},
+        run=lambda ctx: None,
+        gate_peak_mb=True,
+    )
+
+
+def test_peak_mb_within_budget_passes(monkeypatch, tmp_path, capsys):
+    _write_bench_with_peak(tmp_path, "fake", "scenario", 0.1, 100.0)
+    _patch(monkeypatch, _memory_gate(), [0.12])
+    monkeypatch.setattr(cbr, "measured_peak_mb", lambda fn: 150.0)
+    assert cbr.main(["--bench-dir", str(tmp_path)]) == 0
+    assert "peak 150.0MB" in capsys.readouterr().out
+
+
+def test_peak_mb_regression_fails(monkeypatch, tmp_path, capsys):
+    _write_bench_with_peak(tmp_path, "fake", "scenario", 0.1, 100.0)
+    _patch(monkeypatch, _memory_gate(), [0.12])
+    monkeypatch.setattr(cbr, "measured_peak_mb", lambda fn: 400.0)
+    assert cbr.main(["--bench-dir", str(tmp_path)]) == 1
+    assert "memory regression" in capsys.readouterr().err
+
+
+def test_peak_mb_floor_shields_small_scenarios(monkeypatch, tmp_path):
+    # 10x over a 3 MB committed peak is still below the 64 MB absolute
+    # floor: tiny scenarios cannot flake on allocator noise.
+    _write_bench_with_peak(tmp_path, "fake", "scenario", 0.1, 3.0)
+    _patch(monkeypatch, _memory_gate(), [0.12])
+    monkeypatch.setattr(cbr, "measured_peak_mb", lambda fn: 30.0)
+    assert cbr.main(["--bench-dir", str(tmp_path)]) == 0
+
+
+def test_peak_mb_skipped_without_committed_column(monkeypatch, tmp_path):
+    # gate_peak_mb on a row with no peak_mb column: the memory check is
+    # skipped (old BENCH files), not treated as a failure.
+    _write_bench(tmp_path, "fake", "scenario", 0.1)
+    _patch(monkeypatch, _memory_gate(), [0.12])
+
+    def no_peak(fn):  # pragma: no cover - would mean a bug
+        raise AssertionError("peak must not be measured without a budget")
+
+    monkeypatch.setattr(cbr, "measured_peak_mb", no_peak)
+    assert cbr.main(["--bench-dir", str(tmp_path)]) == 0
