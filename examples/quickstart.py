@@ -6,9 +6,10 @@ fully-printed instances:
 
 1. the token dropping game of Figure 2 -- we solve it with the distributed
    proposal algorithm (Theorem 4.1) and print every token's traversal;
-2. a stable orientation (Figure 1) -- we orient a small graph with the
-   phase-based O(Δ⁴) algorithm (Theorem 5.1) and verify that every edge is
-   happy;
+2. a stable orientation (Figure 1) -- we orient a small graph through the
+   public facade (``repro.Instance`` / ``repro.solve``, running the
+   phase-based O(Δ⁴) algorithm of Theorem 5.1), verify that every edge is
+   happy, then absorb a live edge insertion with ``Solved.dynamic()``;
 3. the degree-2 special case correspondence: the same graph solved as a
    stable *assignment* with edge-customers.
 
@@ -17,9 +18,9 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
+import repro
 from repro.analysis import banner, format_table
 from repro.core.assignment import run_stable_assignment
-from repro.core.orientation import OrientationProblem, run_stable_orientation
 from repro.core.token_dropping import (
     exhaustive_is_stuck,
     greedy_token_dropping,
@@ -83,24 +84,28 @@ def demo_token_dropping() -> None:
 def demo_stable_orientation() -> None:
     print()
     print(banner("2. Stable orientation (Figure 1 of the paper)"))
-    # The small "two triangles sharing a path" graph.
+    # The small "two triangles sharing a path" graph, solved through the
+    # public facade: Instance -> solve -> Solved (flat arrays).
     edges = [(1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (5, 6), (4, 6)]
-    problem = OrientationProblem(edges=edges)
-    result = run_stable_orientation(problem)
-    orientation = result.orientation
+    instance = repro.Instance.from_edges(edges)
+    solved = repro.solve(instance, algorithm="phases")
+    result = solved.result
     print(
-        f"Oriented {problem.num_edges()} edges in {result.phases} phases "
-        f"and {result.game_rounds} game rounds; stable = {result.stable}."
+        f"Oriented {instance.num_edges} edges in {result.phases} phases "
+        f"and {result.game_rounds} game rounds; stable = {solved.is_stable()}."
     )
 
+    loads = solved.loads()
     rows = []
-    for tail, head in orientation.oriented_edges():
+    for u, v in edges:
+        head = solved.head_of(u, v)
+        tail = v if head == u else u
         rows.append(
             [
                 f"{tail} -> {head}",
-                orientation.load(tail),
-                orientation.load(head),
-                "happy" if orientation.is_happy(tail, head) else "UNHAPPY",
+                loads[tail],
+                loads[head],
+                "happy" if loads[head] - loads[tail] <= 1 else "UNHAPPY",
             ]
         )
     print(
@@ -108,7 +113,17 @@ def demo_stable_orientation() -> None:
             ["edge (customer -> server)", "load(tail)", "load(head)", "status"], rows
         )
     )
-    print("\nServer loads:", dict(sorted(orientation.loads().items())))
+    print("\nServer loads:", dict(sorted(loads.items())))
+
+    # The solved state enters the incremental engine without re-solving;
+    # churn is absorbed with frontier-local repair.
+    engine = solved.dynamic()
+    stats = engine.apply(repro.EdgeInsert(1, 6))
+    print(
+        f"\nAfter inserting edge (1, 6): repaired locally with "
+        f"{stats.repair.total_flips} flips, still stable = "
+        f"{not engine.unhappy_edges()}, loads = {dict(sorted(engine.loads().items()))}"
+    )
 
 
 def demo_assignment_view() -> None:

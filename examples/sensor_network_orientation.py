@@ -20,29 +20,32 @@ Run:  python examples/sensor_network_orientation.py
 
 from __future__ import annotations
 
+import repro
 from repro.analysis import banner, fit_power_law, format_table
 from repro.core.orientation import (
     run_stable_orientation,
     sequential_flip_algorithm,
     synchronous_repair_orientation,
 )
-from repro.workloads import regular_orientation, sensor_network_orientation
+from repro.workloads import regular_orientation
 
 
 def main() -> None:
     print(banner("Sensor-network link orientation"))
-    problem = sensor_network_orientation(
-        num_nodes=150, max_degree=8, density=0.06, seed=5
+    # The facade builds the named workload family in compact CSR form and
+    # solves it with the phase algorithm in one line each.
+    instance = repro.Instance.build(
+        "sensor-network", num_nodes=150, max_degree=8, density=0.06, seed=5
     )
     print(
-        f"random bounded-degree network: {len(problem.nodes)} nodes, "
-        f"{problem.num_edges()} links, Δ={problem.max_degree()}"
+        f"random bounded-degree network: {instance.num_nodes} nodes, "
+        f"{instance.num_edges} links"
     )
-    result = run_stable_orientation(problem)
-    orientation = result.orientation
+    solved = repro.solve(instance, algorithm="phases")
+    result = solved.result
     print(
         f"phase algorithm: {result.phases} phases, {result.game_rounds} game rounds, "
-        f"stable={result.stable}, max load={orientation.max_load()}"
+        f"stable={solved.is_stable()}, max load={solved.max_load()}"
     )
 
     print()

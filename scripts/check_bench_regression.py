@@ -33,6 +33,15 @@ absolute ``--min-mem-budget`` floor so small scenarios cannot flake on
 allocator noise).  Python-heap peaks are machine-stable, so the memory
 budget is much tighter in practice than the timing one.
 
+The ``serve`` gate drives a real :mod:`repro.serve` server over loopback
+TCP on the fixed edge-flap scenario and compares the coalesced update
+path (one request per 256-delta batch) against naive serving (one round
+trip and one re-stabilization per delta) *on the same machine*,
+requiring a ≥10x ratio — a coalescing layer that stops amortizing
+per-request overhead fails regardless of runner speed.  Its agreement
+check asserts a served session equals a local engine applying the
+identical chunks.
+
 The ``scale_parallel`` gate compares the shared-memory parallel
 orientation backend against the serial kernel *on the same machine* and
 requires a ≥1.5x ratio at 4 workers.  Parallel speedup is meaningless
@@ -334,6 +343,82 @@ def _scale_parallel_gate() -> SuiteGate:
     )
 
 
+def _serve_gate() -> SuiteGate:
+    from repro.core.orientation import DynamicOrientation
+    from repro.serve import ServeConfig, ServerThread, connect
+    from repro.workloads import serve_smoke, serve_smoke_trace
+
+    batch = 256  # one request per chunk, the default ServeConfig.max_batch
+
+    def replay(client, trace, batch_size):
+        for lo in range(0, len(trace), batch_size):
+            client.update(trace[lo : lo + batch_size])
+
+    # Both paths drive a real server over loopback TCP.  The flap trace
+    # is edge-set preserving, so the same persistent servers absorb
+    # every timing round and setup stays out of the timed region; the
+    # daemon server threads die with the process (this script is one
+    # short-lived CI step, so no explicit teardown hook exists).
+    def prepare() -> dict:
+        trace = serve_smoke_trace(serve_smoke())
+        fast_thread = ServerThread(
+            DynamicOrientation(serve_smoke(), seed=2), ServeConfig()
+        ).start()
+        naive_thread = ServerThread(
+            DynamicOrientation(serve_smoke(), seed=2), ServeConfig()
+        ).start()
+        fast = connect(fast_thread.address)
+        naive = connect(naive_thread.address)
+        replay(fast, trace, batch)  # warm both paths end to end
+        replay(naive, trace, 1)
+        return {
+            "trace": trace,
+            "fast": fast,
+            "naive": naive,
+            "threads": (fast_thread, naive_thread),
+        }
+
+    def check_agreement(ctx: dict) -> Optional[str]:
+        # The server must add no semantics: a served coalesced session
+        # equals a local engine applying the identical chunks.
+        trace = ctx["trace"]
+        engine = DynamicOrientation(serve_smoke(), seed=2)
+        with ServerThread(engine, ServeConfig()) as thread:
+            with connect(thread.address) as client:
+                replay(client, trace, batch)
+        reference = DynamicOrientation(serve_smoke(), seed=2)
+        for lo in range(0, len(trace), batch):
+            reference.apply_batch(trace[lo : lo + batch])
+        if engine.loads() != reference.loads():
+            return (
+                "served coalesced replay and local apply_batch disagree "
+                "on the final loads"
+            )
+        if engine.updates_applied != reference.updates_applied:
+            return (
+                "served coalesced replay lost or duplicated updates "
+                f"({engine.updates_applied} vs {reference.updates_applied})"
+            )
+        if engine.unhappy_edges():
+            return "served state is not stable after the flap trace"
+        return None
+
+    # The naive reference serves the same trace one delta per request —
+    # one wire round trip and one re-stabilization each, i.e. serving
+    # without the coalescing layer.  The ratio floor (10x) fails when
+    # the updater stops amortizing per-request overhead, regardless of
+    # runner speed.
+    return SuiteGate(
+        scenario="test_serve_coalesced_replay",
+        prepare=prepare,
+        run=lambda ctx: replay(ctx["fast"], ctx["trace"], batch),
+        reference=lambda ctx: replay(ctx["naive"], ctx["trace"], 1),
+        check_agreement=check_agreement,
+        min_ratio=10.0,
+        reference_label="naive",
+    )
+
+
 def _assignment_gate() -> SuiteGate:
     from repro.core.assignment import run_stable_assignment
     from repro.workloads import datacenter_assignment
@@ -394,6 +479,7 @@ GATES: Dict[str, Callable[[], SuiteGate]] = {
     "compact_core": _compact_core_gate,
     "churn": _churn_gate,
     "scale": _scale_gate,
+    "serve": _serve_gate,
     "scale_parallel": _scale_parallel_gate,
     "assignment": _assignment_gate,
     "semi_matching": _semi_matching_gate,

@@ -50,8 +50,54 @@ The package is organised as follows:
 ``repro.workloads``
     Named, reproducible workload scenarios used by the examples and
     benchmarks.
+
+``repro.serve``
+    A long-lived asyncio serving layer over one solved orientation:
+    point queries from flat arrays, coalesced update batches, and
+    snapshot/restore of the full serving state.
+
+Public facade
+-------------
+The three facade entry points of :mod:`repro.api` are re-exported here
+(lazily), together with the incremental engine and its delta types::
+
+    import repro
+
+    instance = repro.Instance.build("layered", num_levels=8, width=20, seed=3)
+    solved = repro.solve(instance, seed=3)
+    engine = solved.dynamic()
+    engine.apply(repro.EdgeInsert((0, 1), (1, 2)))
 """
 
 from repro._version import __version__
 
-__all__ = ["__version__"]
+#: Facade names resolved lazily (PEP 562) so ``import repro`` stays cheap
+#: for subsystems (``repro.obs``, kernels) that never touch the facade.
+_FACADE_EXPORTS = {
+    "Instance": "repro.api",
+    "Solved": "repro.api",
+    "solve": "repro.api",
+    "DynamicOrientation": "repro.core.orientation.incremental",
+    "Delta": "repro.core.orientation.incremental",
+    "EdgeInsert": "repro.core.orientation.incremental",
+    "EdgeDelete": "repro.core.orientation.incremental",
+    "NodeJoin": "repro.core.orientation.incremental",
+    "NodeLeave": "repro.core.orientation.incremental",
+}
+
+__all__ = ["__version__", *sorted(_FACADE_EXPORTS)]
+
+
+def __getattr__(name: str):
+    module_name = _FACADE_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_FACADE_EXPORTS))

@@ -15,6 +15,10 @@ without writing Python:
 ``experiments``
     Regenerate the measured experiment tables (same as
     ``scripts/run_experiments.py``).
+``serve``
+    Solve an orientation workload once (or restore a snapshot) and serve
+    it over length-prefixed JSON/TCP until shut down; see
+    :mod:`repro.serve`.
 
 Every command accepts ``--seed`` so runs are reproducible, and ``--dot``
 writes a Graphviz rendering of the result next to the textual output.
@@ -178,6 +182,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument(
         "--quiet", action="store_true", help="suppress per-task progress lines"
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="solve an orientation instance and serve it over JSON/TCP",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="listening port (default 0 = ephemeral; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--family", type=str, default="orientation-smoke",
+        help="orientation workload family to build and solve "
+        "(see repro.workloads.scenarios.ORIENTATION_FAMILIES)",
+    )
+    serve.add_argument(
+        "--params", type=str, default=None,
+        help='family parameters as a JSON object, e.g. \'{"num_levels": 8}\'',
+    )
+    serve.add_argument(
+        "--from-snapshot", type=str, default=None,
+        help="restore serving state from a snapshot file instead of solving",
+    )
+    serve.add_argument(
+        "--algorithm", choices=["repair", "phases"], default="repair",
+        help="solver for the initial orientation (bounded is excluded: "
+        "its k-relaxed output cannot enter the incremental engine)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--backend", type=str, default=None,
+        help="solver backend (auto/compact/dict; dispatch default when omitted)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=None,
+        help="max deltas per coalesced apply (default: "
+        "$REPRO_SERVE_MAX_BATCH or 256)",
+    )
+    serve.add_argument(
+        "--coalesce-ms", type=float, default=None,
+        help="gathering window after the first queued update (default: "
+        "$REPRO_SERVE_COALESCE_MS or 0)",
     )
     return parser
 
@@ -355,6 +402,60 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return int(module.main(argv))
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the serving stack (asyncio, snapshot mmap) is not
+    # needed by any other command.
+    import asyncio
+    import json
+
+    from repro.api import Instance, solve
+    from repro.serve import OrientationServer, ServeConfig, load_state
+
+    if args.from_snapshot:
+        dynamic = load_state(args.from_snapshot)
+        origin = f"snapshot {args.from_snapshot}"
+    else:
+        params = json.loads(args.params) if args.params else {}
+        instance = Instance.build(args.family, **params)
+        solved = solve(
+            instance,
+            algorithm=args.algorithm,
+            backend=args.backend,
+            seed=args.seed,
+        )
+        dynamic = solved.dynamic()
+        origin = (
+            f"{args.family} solved with {args.algorithm} "
+            f"({solved.backend} backend, seed {args.seed})"
+        )
+
+    config = ServeConfig(host=args.host, port=args.port)
+    if args.max_batch is not None:
+        config.max_batch = args.max_batch
+    if args.coalesce_ms is not None:
+        config.coalesce_ms = args.coalesce_ms
+
+    async def _run() -> None:
+        server = OrientationServer(dynamic, config)
+        await server.start()
+        host, port = server.address
+        print(banner("serving stable orientation"))
+        print(f"state: {origin}")
+        print(
+            f"{dynamic.num_nodes} nodes, {dynamic.num_edges} edges, "
+            f"max_batch={config.max_batch}, coalesce_ms={config.coalesce_ms}"
+        )
+        print(f"listening on {host}:{port}", flush=True)
+        await server.serve_forever()
+        print("server stopped")
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        print("interrupted")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -364,6 +465,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "orient": _cmd_orient,
         "assign": _cmd_assign,
         "experiments": _cmd_experiments,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -45,6 +45,7 @@ from repro.core.orientation.phases import (
     theoretical_round_bound,
 )
 from repro.core.orientation.incremental import (
+    BatchStats,
     Delta,
     DynamicOrientation,
     EdgeDelete,
@@ -74,6 +75,7 @@ from repro.core.orientation.sequential import (
 )
 
 __all__ = [
+    "BatchStats",
     "BoundedOrientationResult",
     "Delta",
     "DynamicOrientation",

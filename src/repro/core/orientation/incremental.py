@@ -81,6 +81,7 @@ from repro.graphs.compact import CompactGraph, DeltaError, DeltaOverlayGraph
 NodeId = Hashable
 
 __all__ = [
+    "BatchStats",
     "Delta",
     "DeltaError",
     "DynamicOrientation",
@@ -144,6 +145,26 @@ class UpdateStats:
     #: Nodes whose load the structural change touched — the seed set of
     #: the local re-stabilization.
     frontier_nodes: int
+    repair: RepairRunStats = field(default_factory=RepairRunStats)
+
+
+@dataclass
+class BatchStats:
+    """What one :meth:`DynamicOrientation.apply_batch` call did.
+
+    The batch analogue of :class:`UpdateStats`: the structural counters
+    sum over every delta in the batch, ``frontier_nodes`` counts the
+    *union* frontier still alive after all mutations, and ``repair`` is
+    the single re-stabilization run over that union.
+    """
+
+    num_deltas: int
+    #: Seed of the batch's one repair run; ``None`` for the empty batch
+    #: (which runs no repair at all).
+    update_seed: Optional[int]
+    edges_inserted: int = 0
+    edges_removed: int = 0
+    frontier_nodes: int = 0
     repair: RepairRunStats = field(default_factory=RepairRunStats)
 
 
@@ -279,12 +300,97 @@ class _CompactDynamic:
         )
         return stats
 
+    def _restabilize_batch(
+        self, frontier: set, update_seed: int
+    ) -> Tuple[int, RepairRunStats]:
+        """One repair run seeded from the union frontier of a batch.
+
+        Nodes that departed mid-batch are filtered out (their incident
+        edges are all dead); the locality argument of the module
+        docstring extends to batches because any edge whose endpoint
+        loads changed is incident to some frontier node.
+        """
+        overlay = self.overlay
+        alive = overlay.node_alive
+        tracker = self.tracker
+        live = [x for x in frontier if alive[x]]
+        for x in live:
+            tracker.refresh(overlay.incident_edges(x))
+        repair = RepairRunStats(initial_unhappy=len(tracker))
+        run_repair_loop(
+            tracker,
+            num_nodes=len(self.load),
+            refresh_incident=lambda x: tracker.refresh(
+                overlay.incident_edges(x)
+            ),
+            rng=random.Random(update_seed),
+            stats=repair,
+            max_iterations=overlay.sum_sq_degree + 1,
+            rounds_per_iteration=ROUNDS_PER_REPAIR_ITERATION,
+        )
+        return len(live), repair
+
+    def apply_batch(self, deltas, update_seed: int) -> BatchStats:
+        frontier: set = set()
+        inserted = removed = 0
+        try:
+            for delta in deltas:
+                f, ins, rem = self.mutate(delta)
+                frontier |= f
+                inserted += ins
+                removed += rem
+        except DeltaError:
+            # Re-stabilize the already-applied prefix so the stability
+            # invariant survives a rejected delta, then propagate.
+            self._restabilize_batch(frontier, update_seed)
+            raise
+        frontier_nodes, repair = self._restabilize_batch(frontier, update_seed)
+        return BatchStats(
+            num_deltas=len(deltas),
+            update_seed=update_seed,
+            edges_inserted=inserted,
+            edges_removed=removed,
+            frontier_nodes=frontier_nodes,
+            repair=repair,
+        )
+
     # -- exports --------------------------------------------------------
     def loads(self) -> Dict[NodeId, int]:
         ids = self.overlay.node_ids
         return {
             ids[i]: self.load[i] for i in self.overlay.live_node_indices()
         }
+
+    def load_of(self, node: NodeId) -> int:
+        overlay = self.overlay
+        i = overlay.index_of.get(node)
+        if i is None or not overlay.node_alive[i]:
+            raise DeltaError(f"node {node!r} does not exist")
+        return self.load[i]
+
+    def solved_arrays(self) -> Tuple[CompactGraph, List[int], List[int]]:
+        overlay = self.overlay
+        base = overlay.base
+        pristine = (
+            len(overlay.node_ids) == base.num_nodes
+            and len(overlay.edge_u) == base.num_edges
+            and overlay.num_live_nodes == base.num_nodes
+            and overlay.num_live_edges == base.num_edges
+        )
+        if pristine:
+            return base, list(self.heads), list(self.load)
+        graph = overlay.to_compact()
+        ids = overlay.node_ids
+        index_of = graph.index_of
+        heads = [0] * graph.num_edges
+        for e in overlay.live_edge_indices():
+            u_id = ids[overlay.edge_u[e]]
+            v_id = ids[overlay.edge_v[e]]
+            heads[graph.edge_index(u_id, v_id)] = index_of[ids[self.heads[e]]]
+        load = [0] * graph.num_nodes
+        for h in heads:
+            load[h] += 1
+        return graph, heads, load
 
     def head_of(self, u: NodeId, v: NodeId) -> NodeId:
         e = self.overlay.edge_index(u, v)
@@ -390,8 +496,7 @@ class _DictDynamic:
             return frontier, 0, len(removed)
         raise TypeError(f"not a delta: {delta!r}")
 
-    def apply(self, delta: Delta, update_seed: int) -> UpdateStats:
-        frontier, inserted, removed = self.mutate(delta)
+    def _repair_from_carried(self, update_seed: int) -> RepairRunStats:
         # Solve the mutated instance from scratch on the reference path:
         # rebuild the problem, re-orient from the carried-over heads, and
         # repair with full-rescan unhappy sets.
@@ -404,6 +509,11 @@ class _DictDynamic:
             key: orientation.head_of(*key) for key in problem.edges
         }
         self._load = orientation.loads()
+        return repair_stats
+
+    def apply(self, delta: Delta, update_seed: int) -> UpdateStats:
+        frontier, inserted, removed = self.mutate(delta)
+        repair_stats = self._repair_from_carried(update_seed)
         return UpdateStats(
             delta=delta,
             update_seed=update_seed,
@@ -413,9 +523,46 @@ class _DictDynamic:
             repair=repair_stats,
         )
 
+    def apply_batch(self, deltas, update_seed: int) -> BatchStats:
+        frontier: set = set()
+        inserted = removed = 0
+        try:
+            for delta in deltas:
+                f, ins, rem = self.mutate(delta)
+                frontier |= f
+                inserted += ins
+                removed += rem
+        except DeltaError:
+            self._repair_from_carried(update_seed)
+            raise
+        live = [x for x in frontier if x in self._nodes]
+        repair_stats = self._repair_from_carried(update_seed)
+        return BatchStats(
+            num_deltas=len(deltas),
+            update_seed=update_seed,
+            edges_inserted=inserted,
+            edges_removed=removed,
+            frontier_nodes=len(live),
+            repair=repair_stats,
+        )
+
     # -- exports --------------------------------------------------------
     def loads(self) -> Dict[NodeId, int]:
         return dict(self._load)
+
+    def load_of(self, node: NodeId) -> int:
+        if node not in self._nodes:
+            raise DeltaError(f"node {node!r} does not exist")
+        return self._load[node]
+
+    def solved_arrays(self) -> Tuple[CompactGraph, List[int], List[int]]:
+        graph = CompactGraph.from_edges(self._heads.keys(), nodes=self._nodes)
+        index_of = graph.index_of
+        heads = [index_of[self._heads[key]] for key in graph.edge_keys()]
+        load = [0] * graph.num_nodes
+        for h in heads:
+            load[h] += 1
+        return graph, heads, load
 
     def head_of(self, u: NodeId, v: NodeId) -> NodeId:
         key = edge_key(u, v)
@@ -523,6 +670,67 @@ class DynamicOrientation:
                 problem.nodes,
             )
 
+    # -- trusted construction ------------------------------------------
+    @classmethod
+    def from_solved_arrays(
+        cls,
+        graph: CompactGraph,
+        heads,
+        load=None,
+        *,
+        seed: int = 0,
+        updates_applied: int = 0,
+        validate: bool = True,
+    ) -> "DynamicOrientation":
+        """Wrap already-solved flat arrays without re-solving — O(m).
+
+        The trusted-constructor entry point for the serving layer and
+        snapshot restore: ``heads[e]`` is the dense head of edge ``e`` of
+        ``graph``, ``load`` (optional, derived when omitted) the per-node
+        indegree.  ``seed``/``updates_applied`` restore the per-update
+        seed stream, so a restored engine replays future deltas exactly
+        like the engine it was saved from.
+
+        Endpoint/load consistency is always checked; ``validate=True``
+        additionally runs the O(m) stability check the locality guarantee
+        depends on.  Compact backend only — no dict round-trip is ever
+        taken.
+        """
+        self = cls.__new__(cls)
+        self.backend = "compact"
+        self._seed = seed
+        self._updates = updates_applied
+        heads = list(heads)
+        if len(heads) != graph.num_edges:
+            raise ValueError(
+                f"heads has {len(heads)} entries for {graph.num_edges} edges"
+            )
+        eu, ev = graph.edge_u, graph.edge_v
+        derived = [0] * graph.num_nodes
+        for e, h in enumerate(heads):
+            if h != eu[e] and h != ev[e]:
+                raise ValueError(
+                    f"head {h} of edge {e} is not one of its endpoints "
+                    f"({eu[e]}, {ev[e]})"
+                )
+            derived[h] += 1
+        if load is None:
+            load = derived
+        else:
+            load = list(load)
+            if load != derived:
+                raise ValueError("load array disagrees with the heads array")
+        if validate:
+            for e, h in enumerate(heads):
+                t = eu[e] if h == ev[e] else ev[e]
+                if load[h] - load[t] > 1:
+                    raise ValueError(
+                        "orientation is not stable: edge "
+                        f"{e} has badness {load[h] - load[t]}"
+                    )
+        self._impl = _CompactDynamic(graph, heads, load)
+        return self
+
     # -- updates --------------------------------------------------------
     def apply(self, delta: Delta, *, seed: Optional[int] = None) -> UpdateStats:
         """Apply one delta and re-stabilize; returns the update's stats.
@@ -550,6 +758,54 @@ class DynamicOrientation:
             )
         return stats
 
+    def apply_batch(self, deltas, *, seed: Optional[int] = None) -> BatchStats:
+        """Apply a batch of deltas with ONE re-stabilization at the end.
+
+        The coalescing entry point of the serving layer: every delta's
+        structural mutation is applied in order (the ``EdgeInsert`` head
+        rule sees the evolving loads, exactly as a sequential replay
+        would between repairs), the union of their frontiers seeds a
+        single repair run, and the update counter advances by
+        ``len(deltas)``.  The batch repair runs under the seed-stream
+        seed of the *last* delta, so whenever the intermediate repairs of
+        a sequential replay are no-ops the coalesced result is
+        bit-for-bit identical to replaying the trace delta by delta.
+
+        An empty batch is a strict no-op: no seed-stream advance, no
+        repair, and the returned stats carry ``update_seed=None``.  If a
+        delta is invalid, the already-applied prefix stays applied, the
+        engine is re-stabilized before the :class:`DeltaError`
+        propagates, and the counter still advances by ``len(deltas)``.
+        """
+        deltas = tuple(deltas)
+        if not deltas:
+            return BatchStats(
+                num_deltas=0,
+                update_seed=None,
+                edges_inserted=0,
+                edges_removed=0,
+                frontier_nodes=0,
+            )
+        update_seed = (
+            seed
+            if seed is not None
+            else self._seed * 1_000_003 + self._updates + len(deltas) - 1
+        )
+        self._updates += len(deltas)
+        with obs.span(
+            "churn.apply_batch", num_deltas=len(deltas), backend=self.backend
+        ) as sp:
+            stats = self._impl.apply_batch(deltas, update_seed)
+            sp.set(
+                frontier_nodes=stats.frontier_nodes,
+                edges_inserted=stats.edges_inserted,
+                edges_removed=stats.edges_removed,
+                initial_unhappy=stats.repair.initial_unhappy,
+                repair_iterations=stats.repair.iterations,
+                repair_flips=stats.repair.total_flips,
+            )
+        return stats
+
     # -- queries --------------------------------------------------------
     @property
     def num_nodes(self) -> int:
@@ -565,13 +821,33 @@ class DynamicOrientation:
     def updates_applied(self) -> int:
         return self._updates
 
+    @property
+    def seed(self) -> int:
+        """Root seed of the per-update seed stream."""
+        return self._seed
+
     def loads(self) -> Dict[NodeId, int]:
         """Load (indegree) per live node."""
         return self._impl.loads()
 
+    def load_of(self, node: NodeId) -> int:
+        """Load of one live node — O(1), the serving-layer point query."""
+        return self._impl.load_of(node)
+
     def head_of(self, u: NodeId, v: NodeId) -> NodeId:
         """Current head of the live edge {u, v}."""
         return self._impl.head_of(u, v)
+
+    def solved_arrays(self) -> Tuple[CompactGraph, List[int], List[int]]:
+        """Materialize the current state as ``(graph, heads, load)`` arrays.
+
+        The snapshot export: a canonical (repr-sorted) ``CompactGraph``
+        of the live nodes/edges plus dense heads and loads, suitable for
+        :meth:`from_solved_arrays`.  When no update has structurally
+        changed the instance the base graph is returned as-is (no
+        rebuild).
+        """
+        return self._impl.solved_arrays()
 
     def orientation(self) -> Orientation:
         """Export the current state as a reference Orientation (O(n + m))."""

@@ -10,6 +10,7 @@ how a ``--resume`` run visibly reports "0 executed".
 
 from __future__ import annotations
 
+import math
 import sys
 import time
 from typing import Callable, Optional, TextIO
@@ -67,16 +68,21 @@ class ProgressReporter:
         a run, where a rate would be noise.
         """
         elapsed = time.perf_counter() - self._started
+        # elapsed can be 0 exactly (first task under the timer resolution)
+        # or denormal-tiny (rate overflows to inf); both make the suffix
+        # meaningless, so skip it rather than print inf/nan.
         if self.done == 0 or elapsed <= 0:
             return ""
         rate = self.done / elapsed
         remaining = max(self.total - self.done, 0)
-        if rate <= 0:
+        if rate <= 0 or not math.isfinite(rate):
             return ""
         return f" [{rate:.1f}/s eta {self._format_eta(remaining / rate)}]"
 
     @staticmethod
     def _format_eta(seconds: float) -> str:
+        if not math.isfinite(seconds):
+            return "?"
         if seconds >= 3600:
             return f"{seconds / 3600:.1f}h"
         if seconds >= 60:
@@ -86,6 +92,8 @@ class ProgressReporter:
     def summary(self) -> str:
         elapsed = time.perf_counter() - self._started
         rate = self.done / elapsed if elapsed > 0 and self.done else 0.0
+        if not math.isfinite(rate):
+            rate = 0.0
         # The "(N executed, M from cache)" clause is load-bearing: CI's
         # resume smoke greps for it verbatim.  Additions go after it.
         return (

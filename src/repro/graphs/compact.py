@@ -279,6 +279,146 @@ class ShmGraph:
         return f"ShmGraph({self.meta['name']!r}, {role}, {state})"
 
 
+class SnapshotError(ValueError):
+    """Raised for malformed or truncated array-snapshot files."""
+
+
+#: Magic prefix of the single-file array snapshot format (version in the
+#: trailing byte; bump it on incompatible layout changes).
+SNAPSHOT_MAGIC = b"RPROSNP1"
+
+
+def write_array_snapshot(path, sections: Dict[str, "array"], meta=None) -> None:
+    """Write named ``array('q')`` sections into one snapshot file.
+
+    Layout: the 8-byte magic, an 8-byte little-endian header length, a
+    JSON header (``{"version", "meta", "sections": [[name, length], ...]}``),
+    zero padding up to an 8-byte boundary, then the raw int64 payload of
+    every section concatenated in header order.  The payload alignment is
+    what makes the file mmap-able: :class:`ArraySnapshot` casts slices of
+    the mapping straight to ``'q'`` memoryviews, so loading never copies
+    the arrays.
+
+    The write is atomic (temp file + rename in the target directory): a
+    crash mid-write can never leave a truncated file under ``path``,
+    which matters when a live server snapshots over its previous state.
+    """
+    import json
+    import os
+
+    names = list(sections)
+    header = {
+        "version": 1,
+        "meta": {} if meta is None else meta,
+        "sections": [[name, len(sections[name])] for name in names],
+    }
+    blob = json.dumps(header, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    pad = (-(len(SNAPSHOT_MAGIC) + 8 + len(blob))) % _ITEMSIZE
+    tmp = f"{path}.tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(SNAPSHOT_MAGIC)
+            fh.write(len(blob).to_bytes(8, "little"))
+            fh.write(blob)
+            fh.write(b"\0" * pad)
+            for name in names:
+                fh.write(memoryview(sections[name]).cast("B"))
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ArraySnapshot:
+    """A read-only, mmap-backed view of a :func:`write_array_snapshot` file.
+
+    ``meta`` is the header's meta dict; :meth:`section` returns each
+    named section as a zero-copy ``'q'`` memoryview into the mapping.
+    ``close()`` releases the views and the mapping — consumers that keep
+    a section (e.g. a :class:`CompactGraph` built over it) must keep the
+    snapshot open for as long as they use it.
+    """
+
+    def __init__(self, path) -> None:
+        import json
+        import mmap
+
+        self.path = path
+        self._fh = open(path, "rb")
+        self._views: List = []
+        try:
+            self._mm = mmap.mmap(self._fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError:
+            self._fh.close()
+            raise SnapshotError(f"{path}: empty or unmappable snapshot file")
+        try:
+            raw = memoryview(self._mm)
+            self._views.append(raw)
+            magic = bytes(raw[: len(SNAPSHOT_MAGIC)])
+            if magic != SNAPSHOT_MAGIC:
+                raise SnapshotError(
+                    f"{path}: bad magic {magic!r} (expected {SNAPSHOT_MAGIC!r})"
+                )
+            pos = len(SNAPSHOT_MAGIC)
+            header_len = int.from_bytes(bytes(raw[pos : pos + 8]), "little")
+            pos += 8
+            if pos + header_len > len(raw):
+                raise SnapshotError(f"{path}: truncated header")
+            header = json.loads(bytes(raw[pos : pos + header_len]))
+            pos += header_len
+            pos += (-pos) % _ITEMSIZE
+            if header.get("version") != 1:
+                raise SnapshotError(
+                    f"{path}: unsupported snapshot version {header.get('version')!r}"
+                )
+            self.meta = header["meta"]
+            self._sections: Dict[str, memoryview] = {}
+            for name, length in header["sections"]:
+                nbytes = length * _ITEMSIZE
+                if pos + nbytes > len(raw):
+                    raise SnapshotError(f"{path}: truncated section {name!r}")
+                sliced = raw[pos : pos + nbytes]
+                cast = sliced.cast(INDEX_TYPECODE)
+                self._views.append(sliced)
+                self._views.append(cast)
+                self._sections[name] = cast
+                pos += nbytes
+        except Exception:
+            self.close()
+            raise
+
+    def section(self, name: str) -> memoryview:
+        """Zero-copy ``'q'`` view of one named section."""
+        return self._sections[name]
+
+    def section_names(self) -> Tuple[str, ...]:
+        return tuple(self._sections)
+
+    def close(self) -> None:
+        self._sections = {}
+        for view in reversed(self._views):
+            view.release()
+        self._views = []
+        mm = getattr(self, "_mm", None)
+        if mm is not None:
+            mm.close()
+            self._mm = None
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "ArraySnapshot":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArraySnapshot({self.path!r}, sections={list(self._sections)})"
+
+
 class CompactGraph:
     """An immutable undirected simple graph in CSR form.
 
@@ -616,6 +756,54 @@ class CompactGraph:
         )
         return ShmGraph(meta, graph, owner=False, shm=shm, views=views)
 
+    # -- snapshots ------------------------------------------------------
+    def snapshot_sections(self) -> Dict[str, array]:
+        """The five CSR buffers keyed by field name, in segment order.
+
+        The write side of the snapshot round trip: pass these (plus any
+        caller sections) to :func:`write_array_snapshot` and rebuild with
+        :meth:`from_buffers` over an :class:`ArraySnapshot`'s views.
+        """
+        return {field: getattr(self, field) for field in _SHM_FIELDS}
+
+    @classmethod
+    def from_buffers(
+        cls, node_ids: Sequence[NodeId], sections: Dict[str, memoryview]
+    ) -> "CompactGraph":
+        """Rebuild a graph over externally-owned CSR buffers — zero copy.
+
+        ``sections`` maps the :data:`_SHM_FIELDS` names to ``'q'``
+        buffers (typically :meth:`ArraySnapshot.section` views, which
+        stay mmap-backed).  Buffer lengths are cross-checked; the caller
+        keeps the backing storage alive for the graph's lifetime.
+        """
+        node_ids = tuple(node_ids)
+        n = len(node_ids)
+        missing = [f for f in _SHM_FIELDS if f not in sections]
+        if missing:
+            raise SnapshotError(f"missing CSR sections: {missing}")
+        indptr = sections["indptr"]
+        indices = sections["indices"]
+        slot_edge = sections["slot_edge"]
+        edge_u = sections["edge_u"]
+        edge_v = sections["edge_v"]
+        m = len(edge_u)
+        if len(indptr) != n + 1:
+            raise SnapshotError(
+                f"indptr has {len(indptr)} entries for {n} nodes"
+            )
+        if len(edge_v) != m or len(indices) != 2 * m or len(slot_edge) != 2 * m:
+            raise SnapshotError("CSR section lengths are inconsistent")
+        return cls(
+            node_ids=node_ids,
+            index_of={node: i for i, node in enumerate(node_ids)},
+            indptr=indptr,
+            indices=indices,
+            slot_edge=slot_edge,
+            edge_u=edge_u,
+            edge_v=edge_v,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CompactGraph(nodes={self.num_nodes}, edges={self.num_edges})"
 
@@ -661,6 +849,7 @@ class DeltaOverlayGraph:
         "edge_v",
         "edge_alive",
         "extra_adj",
+        "_extra_dead",
         "degrees",
         "sum_sq_degree",
         "_edge_slot",
@@ -682,6 +871,13 @@ class DeltaOverlayGraph:
         #: Dense node id -> overlay edge ids touching it (may contain
         #: dead ids; iteration filters on ``edge_alive``).
         self.extra_adj: Dict[int, List[int]] = {}
+        #: Dense node id -> dead ids currently in its ``extra_adj`` list.
+        #: A long-lived engine under steady edge churn (the serving
+        #: workload: delete/re-insert flaps) would otherwise grow these
+        #: lists without bound and every frontier refresh would slow
+        #: down; ``_kill_edge`` compacts a list once half of it is dead,
+        #: which is amortized O(1) per kill.
+        self._extra_dead: Dict[int, int] = {}
         self.degrees: List[int] = [base.degree(i) for i in range(n)]
         #: Σ deg(v)² over live nodes, maintained incrementally (sizes the
         #: repair loop's safety valve without an O(n) rescan per update).
@@ -839,6 +1035,27 @@ class DeltaOverlayGraph:
         self._bump_degree(self.edge_u[e], -1)
         self._bump_degree(self.edge_v[e], -1)
         self._num_live_edges -= 1
+        if e >= self.base.num_edges:
+            # Only inserted edges live in extra_adj; base edges are
+            # tombstoned in place inside the (bounded) CSR slots.
+            self._prune_extra(self.edge_u[e])
+            self._prune_extra(self.edge_v[e])
+
+    def _prune_extra(self, i: int) -> None:
+        """Drop dead ids from ``extra_adj[i]`` once half the list is dead.
+
+        Keeps the relative order of the live ids, so incident-edge
+        iteration order — and with it every downstream tie-break — is
+        unchanged.
+        """
+        dead = self._extra_dead.get(i, 0) + 1
+        extra = self.extra_adj[i]
+        if len(extra) >= 8 and dead * 2 >= len(extra):
+            alive = self.edge_alive
+            self.extra_adj[i] = [x for x in extra if alive[x]]
+            self._extra_dead[i] = 0
+        else:
+            self._extra_dead[i] = dead
 
     def _bump_degree(self, i: int, delta: int) -> None:
         d = self.degrees[i]

@@ -1,0 +1,116 @@
+"""A small blocking client for :mod:`repro.serve` servers.
+
+Plain ``socket`` + the shared frame codec — no asyncio on the client
+side, so benchmarks and scripts can drive a server closed-loop without
+an event loop of their own.  One :class:`ServeClient` is one connection;
+requests are strictly request/response, so a client instance is *not*
+thread-safe (use one per thread).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Iterable, List, Tuple
+
+from repro.core.orientation.incremental import Delta
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    _LEN,
+    decode_payload,
+    delta_to_wire,
+    encode_frame,
+    node_to_wire,
+    wire_to_node,
+)
+
+__all__ = ["ServeClient", "ServeError", "connect"]
+
+
+class ServeError(RuntimeError):
+    """Raised when the server answers ``ok: false``."""
+
+
+class ServeClient:
+    """One blocking connection to an :class:`OrientationServer`."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    # -- plumbing -------------------------------------------------------
+    def _recv_exactly(self, nbytes: int) -> bytes:
+        chunks: List[bytes] = []
+        remaining = nbytes
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ProtocolError("server closed the connection mid frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def request(self, payload: dict) -> dict:
+        """Send one request frame and return the decoded response payload."""
+        self._sock.sendall(encode_frame(payload))
+        (length,) = _LEN.unpack(self._recv_exactly(_LEN.size))
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(f"response length {length} exceeds limit")
+        return decode_payload(self._recv_exactly(length))
+
+    def _checked(self, payload: dict) -> dict:
+        response = self.request(payload)
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "unknown server error"))
+        return response
+
+    # -- ops ------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self._checked({"op": "ping"}).get("pong"))
+
+    def assignment_of(self, u, v):
+        """The current head (assigned endpoint) of the live edge {u, v}."""
+        response = self._checked(
+            {"op": "assignment-of", "u": node_to_wire(u), "v": node_to_wire(v)}
+        )
+        return wire_to_node(response["head"])
+
+    def load_of(self, node) -> int:
+        return self._checked({"op": "load-of", "node": node_to_wire(node)})[
+            "load"
+        ]
+
+    def stats(self) -> dict:
+        return self._checked({"op": "stats"})
+
+    def update(self, deltas: Iterable[Delta]) -> dict:
+        """Submit a batch of engine deltas; returns the batch receipt."""
+        wire = [delta_to_wire(d) for d in deltas]
+        return self._checked({"op": "update", "deltas": wire})
+
+    def snapshot(self, path) -> dict:
+        """Ask the server to snapshot its serving state to ``path``."""
+        return self._checked({"op": "snapshot", "path": str(path)})
+
+    def shutdown(self) -> dict:
+        """Request a clean server shutdown."""
+        return self._checked({"op": "shutdown"})
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def connect(
+    address: Tuple[str, int], *, timeout: float = 30.0
+) -> ServeClient:
+    """Connect to a server's ``(host, port)`` address tuple."""
+    return ServeClient(address[0], address[1], timeout=timeout)

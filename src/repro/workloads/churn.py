@@ -37,7 +37,10 @@ from repro.core.orientation.incremental import (
 )
 from repro.core.orientation.problem import OrientationProblem, edge_key
 from repro.graphs.compact import CompactGraph
-from repro.workloads.scenarios import layered_dag_orientation
+from repro.workloads.scenarios import (
+    layered_dag_orientation,
+    sensor_network_orientation,
+)
 
 #: Relative weights of the four delta kinds, by name.
 ChurnMix = Dict[str, float]
@@ -224,3 +227,57 @@ def churn_smoke(*, compact: bool = False):
 def churn_smoke_trace(instance) -> List[Delta]:
     """The fixed trace the churn perf gate replays over :func:`churn_smoke`."""
     return churn_trace(instance, **CHURN_SMOKE_TRACE)
+
+
+def edge_flap_trace(
+    instance: Union[OrientationProblem, CompactGraph],
+    *,
+    num_updates: int,
+    seed: int = 0,
+) -> List[Delta]:
+    """Link flaps: delete-then-reinsert pairs over the existing edge set.
+
+    The serving point-update workload — no joins or leaves, so per-delta
+    mutation is cheap and the cost of a served update is dominated by
+    per-request overhead (the thing coalescing amortizes).  With an even
+    ``num_updates`` every deleted edge is immediately restored, so the
+    trace is *edge-set preserving*: it can be replayed repeatedly against
+    the same live engine, which is what lets the serve perf gate time a
+    persistent server instead of paying setup inside the timed region.
+    """
+    if isinstance(instance, CompactGraph):
+        keys = list(instance.edge_keys())
+    else:
+        keys = list(instance.edges)
+    if not keys:
+        raise ValueError("edge_flap_trace needs an instance with edges")
+    rng = random.Random(seed)
+    trace: List[Delta] = []
+    while len(trace) < num_updates:
+        u, v = keys[rng.randrange(len(keys))]
+        trace.append(EdgeDelete(u, v))
+        if len(trace) < num_updates:
+            trace.append(EdgeInsert(u, v))
+    return trace
+
+
+#: Fixed parameters of the serve perf-regression scenario: a small
+#: sensor-network instance (64 nodes) where per-delta engine work is a
+#: few microseconds, so a served update's cost is dominated by the
+#: per-request overhead that batch coalescing amortizes — the regime the
+#: serving layer exists for.  ``benchmarks/bench_serve.py`` times the
+#: coalesced closed-loop replay and commits it to ``BENCH_serve.json``;
+#: ``scripts/check_bench_regression.py --suite serve`` re-times it and
+#: enforces the coalesced-vs-naive ratio floor.
+SERVE_SMOKE_PARAMS = dict(num_nodes=64, max_degree=4, density=0.1, seed=3)
+SERVE_SMOKE_TRACE = dict(num_updates=512, seed=17)
+
+
+def serve_smoke() -> CompactGraph:
+    """The fixed small instance the serve perf gate serves."""
+    return sensor_network_orientation(**SERVE_SMOKE_PARAMS, compact=True)
+
+
+def serve_smoke_trace(instance) -> List[Delta]:
+    """The fixed edge-flap trace the serve perf gate replays."""
+    return edge_flap_trace(instance, **SERVE_SMOKE_TRACE)

@@ -310,6 +310,60 @@ class TestResultsAndProgress:
         run_experiment(TOY_SPEC, jobs=1, progress=seen.append)
         assert len(seen) == len(TOY_SPEC)
 
+    @staticmethod
+    def _result(index: int = 0):
+        from repro.engine.results import TaskResult
+
+        return TaskResult(
+            experiment="toy",
+            params={"delta": 1},
+            seed=0,
+            values={},
+            elapsed_seconds=0.0,
+            task_hash="h",
+            index=index,
+        )
+
+    def test_first_task_under_timer_resolution_has_no_eta(self, monkeypatch, capsys):
+        # Regression: the very first completion can land with elapsed == 0
+        # (coarse perf_counter) or denormal-tiny elapsed (rate overflows to
+        # inf); the pace suffix must be dropped, never a ZeroDivisionError
+        # or an "inf/s" line.
+        import io
+
+        import repro.engine.progress as progress_mod
+
+        for frozen_delta in (0.0, 5e-324):
+            clock = iter([100.0, 100.0 + frozen_delta, 100.0 + frozen_delta])
+            monkeypatch.setattr(
+                progress_mod.time, "perf_counter", lambda c=clock: next(c)
+            )
+            stream = io.StringIO()
+            reporter = ProgressReporter(4, label="toy", stream=stream)
+            reporter(self._result())  # must not raise
+            line = stream.getvalue()
+            assert "eta" not in line and "inf" not in line, line
+
+    def test_summary_rate_is_finite_under_timer_resolution(self, monkeypatch):
+        import repro.engine.progress as progress_mod
+
+        clock = iter([100.0, 100.0, 100.0 + 5e-324])
+        monkeypatch.setattr(
+            progress_mod.time, "perf_counter", lambda: next(clock)
+        )
+        reporter = ProgressReporter(1, label="toy", enabled=False)
+        reporter(self._result())
+        summary = reporter.summary()
+        # The "(N executed, M from cache)" clause is the CI-grepped format.
+        assert "(1 executed, 0 from cache)" in summary
+        assert "inf" not in summary
+
+    def test_eta_formatting_tiers(self):
+        assert ProgressReporter._format_eta(30.0) == "30s"
+        assert ProgressReporter._format_eta(90.0) == "1.5m"
+        assert ProgressReporter._format_eta(7200.0) == "2.0h"
+        assert ProgressReporter._format_eta(float("inf")) == "?"
+
 
 class TestSweepAdapter:
     def test_run_sweep_supports_jobs_and_cache(self, tmp_path):

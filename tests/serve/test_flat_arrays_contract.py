@@ -1,0 +1,79 @@
+"""Lint-style contract: the serving layer is all-flat-arrays.
+
+No module under ``src/repro/serve/`` may import a dict-path constructor
+or the dict-side graph machinery — the serving layer must answer every
+query and absorb every update through the compact CSR arrays and the
+trusted :meth:`DynamicOrientation.from_solved_arrays` entry point.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SERVE_DIR = (
+    Path(__file__).resolve().parents[2] / "src" / "repro" / "serve"
+)
+
+#: Names whose import from the serving layer would smuggle the dict path
+#: back in: the reference problem/graph classes, their constructors, and
+#: networkx itself.
+FORBIDDEN_NAMES = {
+    "OrientationProblem",
+    "Orientation",
+    "CustomerServerGraph",
+    "from_networkx",
+    "to_orientation_problem",
+    "arbitrary_complete_orientation",
+}
+FORBIDDEN_MODULES = {
+    "networkx",
+    "repro.core.orientation.problem",
+    "repro.graphs.bipartite",
+}
+
+MODULES = sorted(SERVE_DIR.glob("*.py"))
+
+
+def _imports(tree: ast.AST):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            for alias in node.names:
+                yield module, alias.name
+
+
+def test_serve_package_exists_and_is_nontrivial():
+    assert len(MODULES) >= 4, [m.name for m in MODULES]
+
+
+@pytest.mark.parametrize("path", MODULES, ids=lambda p: p.name)
+def test_no_dict_path_imports(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    offences = []
+    for module, name in _imports(tree):
+        if module in FORBIDDEN_MODULES or module.split(".")[0] == "networkx":
+            offences.append(f"import from forbidden module {module!r}")
+        if name in FORBIDDEN_NAMES:
+            offences.append(f"imports forbidden name {name!r} from {module!r}")
+    assert not offences, f"{path.name}: {offences}"
+
+
+@pytest.mark.parametrize("path", MODULES, ids=lambda p: p.name)
+def test_no_dict_path_attribute_calls(path):
+    # Belt and braces: calling graph.to_orientation_problem() inside the
+    # serving layer would rebuild the dict structure without importing it.
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    offences = [
+        f"line {node.lineno}: calls .{node.func.attr}()"
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in {"to_orientation_problem", "from_networkx"}
+    ]
+    assert not offences, f"{path.name}: {offences}"

@@ -259,6 +259,32 @@ def test_bench_suite_override_reads_other_file(monkeypatch, tmp_path):
     assert cbr.main(["--bench-dir", str(tmp_path)]) == 0
 
 
+def test_serve_gate_contract():
+    # The serve gate's whole point is the coalesced-vs-naive floor: it
+    # must carry the 10x override and time a naive reference path.
+    gate = cbr.GATES["serve"]()
+    assert gate.scenario == "test_serve_coalesced_replay"
+    assert gate.min_ratio == 10.0
+    assert gate.reference_label == "naive"
+    assert gate.reference is not None
+    assert gate.check_agreement is not None
+
+
+def test_serve_gate_agreement_on_the_real_server():
+    """The serve gate's agreement check holds on the deployed plumbing."""
+    gate = cbr.GATES["serve"]()
+    ctx = gate.prepare()
+    try:
+        assert gate.check_agreement(ctx) is None
+        # The persistent warmed sessions stay usable for the timed paths.
+        gate.run(ctx)
+    finally:
+        for client in (ctx["fast"], ctx["naive"]):
+            client.close()
+        for thread in ctx["threads"]:
+            thread.stop()
+
+
 def _write_bench_with_peak(tmp_path, suite, scenario, median, peak_mb):
     (tmp_path / f"BENCH_{suite}.json").write_text(
         json.dumps(
